@@ -1,0 +1,53 @@
+"""Ablation — primary vs decentralized executor spawning (Section VI-B).
+
+Decentralized spawning defeats the byzantine-abort attack but spawns
+``e × n_R`` executors instead of ``n_E``; this bench quantifies that
+overhead analytically (Equation 1) and measures it in simulation.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+from repro.core.config import SpawnPolicyName
+
+
+def test_spawning_policy_overhead_model(benchmark, paper_setup):
+    """Equation (1): executors spawned per policy."""
+    table = benchmark(experiments.spawning_policy_ablation, paper_setup)
+    emit(table)
+    for row in table.rows:
+        # Decentralized spawning always spawns at least as many executors.
+        assert row["decentralized_spawned"] >= row["primary_spawned"]
+        assert row["overhead_factor"] >= 1.0
+
+
+def test_spawning_policy_simulated(benchmark, sim_scale):
+    """Measured executor counts under both policies."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="ablation-spawning-simulated",
+            columns=("policy", "spawned_executors", "throughput_txn_s"),
+        )
+        for policy in (SpawnPolicyName.PRIMARY, SpawnPolicyName.DECENTRALIZED):
+            config = sim_scale.protocol_config(spawn_policy=policy)
+            result = simulate_point(
+                config,
+                workload=sim_scale.workload_config(),
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                policy=policy.value,
+                spawned_executors=result.spawned_executors,
+                throughput_txn_s=result.throughput_txn_per_sec,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    spawned = {row["policy"]: row["spawned_executors"] for row in table.rows}
+    assert spawned["decentralized"] > spawned["primary"]

@@ -1,0 +1,66 @@
+"""Figure 5 — impact of client congestion (latency vs throughput).
+
+Regenerates the latency/throughput curves for SERVBFT-8 and SERVBFT-32 while
+the client population grows from 2 k to 88 k, and measures one scaled-down
+message-level simulation point for each shim size.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig5_model_sweep(benchmark, paper_setup):
+    """Model-based sweep over the paper's client counts."""
+    table = benchmark(experiments.client_congestion, paper_setup)
+    emit(table)
+
+    for shim in (8, 32):
+        series = table.series("clients", "throughput_txn_s", system=f"SERVBFT-{shim}")
+        latencies = table.series("clients", "latency_s", system=f"SERVBFT-{shim}")
+        clients = sorted(series)
+        # Throughput grows with the client population and then saturates.
+        assert series[clients[0]] < series[clients[-1]] or series[clients[0]] < max(series.values())
+        assert max(series.values()) == series[clients[-1]] or series[clients[-1]] >= 0.9 * max(series.values())
+        # Latency keeps increasing once the system saturates.
+        assert latencies[clients[-1]] >= latencies[clients[0]]
+
+    # The smaller shim outperforms the larger one, as in the paper.
+    small = table.series("clients", "throughput_txn_s", system="SERVBFT-8")
+    large = table.series("clients", "throughput_txn_s", system="SERVBFT-32")
+    assert max(small.values()) > max(large.values())
+
+
+def test_fig5_simulated_points(benchmark, sim_scale):
+    """Measured (message-level) points: small vs larger shim under load."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig5-simulated-points",
+            columns=("system", "clients", "throughput_txn_s", "latency_s"),
+        )
+        for shim_nodes in (4, 8):
+            config = sim_scale.protocol_config(shim_nodes=shim_nodes)
+            result = simulate_point(
+                config,
+                workload=sim_scale.workload_config(),
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                system=f"SERVBFT-{shim_nodes}",
+                clients=config.num_clients,
+                throughput_txn_s=result.throughput_txn_per_sec,
+                latency_s=result.latency.mean,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    small = table.series("clients", "throughput_txn_s", system="SERVBFT-4")
+    large = table.series("clients", "throughput_txn_s", system="SERVBFT-8")
+    # The smaller shim sustains at least as much throughput as the larger one.
+    assert max(small.values()) >= 0.8 * max(large.values())

@@ -1,0 +1,53 @@
+"""Figure 6(iii,iv) — impact of batching client transactions."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig6_batching_model_sweep(benchmark, paper_setup):
+    """Model sweep over batch sizes 10 to 8000."""
+    table = benchmark(experiments.batching, paper_setup)
+    emit(table)
+    for shim in (8, 32):
+        throughput = table.series("batch_size", "throughput_txn_s", system=f"SERVBFT-{shim}")
+        sizes = sorted(throughput)
+        # Throughput first increases with the batch size, then decreases
+        # (too-large batches become expensive to communicate and process).
+        assert throughput[100] > throughput[10]
+        peak = max(throughput.values())
+        assert peak > throughput[sizes[0]]
+        assert throughput[sizes[-1]] < peak
+
+
+def test_fig6_batching_simulated(benchmark, sim_scale):
+    """Measured points with small and medium batches."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig6-batching-simulated",
+            columns=("batch_size", "throughput_txn_s", "latency_s"),
+        )
+        for batch_size in (5, 25):
+            config = sim_scale.protocol_config(batch_size=batch_size)
+            result = simulate_point(
+                config,
+                workload=sim_scale.workload_config(),
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                batch_size=batch_size,
+                throughput_txn_s=result.throughput_txn_per_sec,
+                latency_s=result.latency.mean,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    throughput = table.series("batch_size", "throughput_txn_s")
+    # Larger batches amortise consensus cost in this (unsaturated) regime.
+    assert throughput[25] >= throughput[5] * 0.8

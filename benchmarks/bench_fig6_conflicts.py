@@ -1,0 +1,56 @@
+"""Figure 6(xi,xii) — impact of conflicting transactions (unknown rw-sets)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig6_conflicts_model_sweep(benchmark, paper_setup):
+    """Model sweep over 0–50 % conflicting transactions."""
+    table = benchmark(experiments.conflicting_transactions, paper_setup)
+    emit(table)
+    for shim in (8, 32):
+        throughput = table.series("conflict_pct", "throughput_txn_s", system=f"SERVBFT-{shim}")
+        latency = table.series("conflict_pct", "latency_s", system=f"SERVBFT-{shim}")
+        # Goodput decreases with the conflict rate; latency stays flat.
+        assert throughput[0] > throughput[50]
+        drop = 1.0 - throughput[50] / throughput[0]
+        assert 0.2 <= drop <= 0.7  # the paper reports 43–46 %
+        assert abs(latency[50] - latency[0]) <= 0.25 * latency[0]
+
+
+def test_fig6_conflicts_simulated(benchmark, sim_scale):
+    """Measured points at 0 % and 40 % conflicts (optimistic execution)."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig6-conflicts-simulated",
+            columns=("conflict_pct", "committed", "aborted", "abort_rate"),
+        )
+        for percent in (0, 40):
+            config = sim_scale.protocol_config()
+            workload = sim_scale.workload_config(
+                conflict_fraction=percent / 100.0, rw_sets_known=False
+            )
+            result = simulate_point(
+                config,
+                workload=workload,
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                conflict_pct=percent,
+                committed=result.committed_txns,
+                aborted=result.aborted_txns,
+                abort_rate=result.abort_rate,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    aborts = table.series("conflict_pct", "abort_rate")
+    # Conflicting transactions lead to verifier-side aborts.
+    assert aborts[40] > aborts[0]

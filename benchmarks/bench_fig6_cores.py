@@ -1,0 +1,52 @@
+"""Figure 6(ix,x) — impact of the computing power of edge devices."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig6_cores_model_sweep(benchmark, paper_setup):
+    """Model sweep over 2–16 cores per shim node."""
+    table = benchmark(experiments.computing_power, paper_setup)
+    emit(table)
+    for shim in (8, 32):
+        throughput = table.series("cores", "throughput_txn_s", system=f"SERVBFT-{shim}")
+        latency = table.series("cores", "latency_s", system=f"SERVBFT-{shim}")
+        # More cores: higher throughput, lower latency (multi-threaded pipeline).
+        assert throughput[16] > throughput[2]
+        assert latency[16] < latency[2]
+        assert throughput[16] / throughput[2] >= 3.0
+
+
+def test_fig6_cores_simulated(benchmark, sim_scale):
+    """Measured points with 2 and 16 cores per shim node under load."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig6-cores-simulated",
+            columns=("cores", "throughput_txn_s", "latency_s"),
+        )
+        for cores in (2, 16):
+            config = sim_scale.protocol_config(
+                shim_cores=cores, num_clients=2000, client_groups=8, batch_size=100
+            )
+            result = simulate_point(
+                config,
+                workload=sim_scale.workload_config(clients=2000),
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                cores=cores,
+                throughput_txn_s=result.throughput_txn_per_sec,
+                latency_s=result.latency.mean,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    throughput = table.series("cores", "throughput_txn_s")
+    assert throughput[16] >= throughput[2]

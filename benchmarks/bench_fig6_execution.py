@@ -1,0 +1,52 @@
+"""Figure 6(v,vi) — impact of expensive (compute-intensive) execution."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig6_execution_model_sweep(benchmark, paper_setup):
+    """Model sweep over execution lengths 0–8 seconds."""
+    table = benchmark(experiments.expensive_execution, paper_setup)
+    emit(table)
+    for shim in (8, 32):
+        throughput = table.series("execution_s", "throughput_txn_s", system=f"SERVBFT-{shim}")
+        latency = table.series("execution_s", "latency_s", system=f"SERVBFT-{shim}")
+        # Longer execution: much lower throughput and latency dominated by the
+        # execution time itself (the shim's own cost becomes insignificant).
+        assert throughput[0.0] > throughput[8.0]
+        assert latency[8.0] > latency[0.0]
+        assert latency[8.0] >= 8.0
+
+
+def test_fig6_execution_simulated(benchmark, sim_scale):
+    """Measured points with no compute phase and with a 200 ms compute phase."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig6-execution-simulated",
+            columns=("execution_s", "throughput_txn_s", "latency_s"),
+        )
+        for seconds in (0.0, 0.2):
+            config = sim_scale.protocol_config()
+            result = simulate_point(
+                config,
+                workload=sim_scale.workload_config(execution_seconds=seconds),
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                execution_s=seconds,
+                throughput_txn_s=result.throughput_txn_per_sec,
+                latency_s=result.latency.mean,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    latency = table.series("execution_s", "latency_s")
+    assert latency[0.2] > latency[0.0]
+    assert latency[0.2] >= 0.2

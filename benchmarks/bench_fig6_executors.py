@@ -1,0 +1,59 @@
+"""Figure 6(i,ii) — impact of the number of serverless executors."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig6_executors_model_sweep(benchmark, paper_setup):
+    """Model sweep over 3–21 executors for both shim sizes."""
+    table = benchmark(experiments.executor_scaling, paper_setup)
+    emit(table)
+    for shim in (8, 32):
+        throughput = table.series("executors", "throughput_txn_s", system=f"SERVBFT-{shim}")
+        latency = table.series("executors", "latency_s", system=f"SERVBFT-{shim}")
+        counts = sorted(throughput)
+        # More executors: lower throughput, higher latency (Section IX-B).
+        assert throughput[counts[0]] > throughput[counts[-1]]
+        assert latency[counts[0]] < latency[counts[-1]]
+
+
+def test_fig6_executors_simulated(benchmark, sim_scale):
+    """Measured points with 3 and 7 executors."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig6-executors-simulated",
+            columns=("executors", "throughput_txn_s", "latency_s", "cloud_invocations"),
+        )
+        for executors in (3, 7):
+            config = sim_scale.protocol_config(
+                num_executors=executors, num_executor_regions=min(3, executors)
+            )
+            result = simulate_point(
+                config,
+                workload=sim_scale.workload_config(),
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                executors=executors,
+                throughput_txn_s=result.throughput_txn_per_sec,
+                latency_s=result.latency.mean,
+                cloud_invocations=result.cloud_invocations,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    throughput = table.series("executors", "throughput_txn_s")
+    invocations = table.series("executors", "cloud_invocations")
+    # Both configurations make progress; spawning more executors costs
+    # proportionally more serverless invocations (and, at saturation, the
+    # extra spawn/validation work lowers throughput — shown by the model
+    # sweep above; this unsaturated measured point only checks the cost side).
+    assert min(throughput.values()) > 0
+    assert invocations[7] > 1.5 * invocations[3]

@@ -1,0 +1,51 @@
+"""Figure 6(vii,viii) — spawning a fixed number of executors across more regions."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig6_regions_model_sweep(benchmark, paper_setup):
+    """Model sweep: 11 executors over 5, 7, 9, and 11 regions."""
+    table = benchmark(experiments.region_distribution, paper_setup)
+    emit(table)
+    for shim in (8, 32):
+        throughput = table.series("regions", "throughput_txn_s", system=f"SERVBFT-{shim}")
+        latency = table.series("regions", "latency_s", system=f"SERVBFT-{shim}")
+        values = list(throughput.values())
+        # Throughput and latency stay (roughly) constant: the verifier only
+        # waits for the f_E+1 nearest executors (Section IX-E).
+        assert max(values) <= 1.1 * min(values)
+        assert max(latency.values()) <= 1.2 * min(latency.values())
+
+
+def test_fig6_regions_simulated(benchmark, sim_scale):
+    """Measured points: 5 executors spread over 1 vs 5 regions."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig6-regions-simulated",
+            columns=("regions", "throughput_txn_s", "latency_s"),
+        )
+        for regions in (1, 5):
+            config = sim_scale.protocol_config(num_executors=5, num_executor_regions=regions)
+            result = simulate_point(
+                config,
+                workload=sim_scale.workload_config(),
+                duration=sim_scale.duration,
+                warmup=sim_scale.warmup,
+            )
+            table.add(
+                regions=regions,
+                throughput_txn_s=result.throughput_txn_per_sec,
+                latency_s=result.latency.mean,
+            )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    throughput = table.series("regions", "throughput_txn_s")
+    assert min(throughput.values()) > 0

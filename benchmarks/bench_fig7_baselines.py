@@ -1,0 +1,88 @@
+"""Figure 7 — shim scalability and baseline comparison.
+
+SERVERLESSBFT vs SERVERLESSCFT (Paxos shim) vs PBFT (replicated execution)
+vs NOSHIM, for shim sizes 4–128.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.baselines import (
+    PBFTReplicatedSimulation,
+    build_noshim_simulation,
+    build_serverless_cft_simulation,
+)
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable
+from repro.core.runner import ServerlessBFTSimulation
+
+
+def test_fig7_model_sweep(benchmark, paper_setup):
+    """Model sweep over 4–128 replicas for all four systems."""
+    table = benchmark(experiments.baseline_comparison, paper_setup)
+    emit(table)
+
+    for replicas in paper_setup.replica_sweep:
+        by_system = {
+            system: table.series("replicas", "throughput_txn_s", system=system)[replicas]
+            for system in ("SERVERLESSBFT", "SERVERLESSCFT", "PBFT", "NOSHIM")
+        }
+        # The paper's ordering: SERVERLESSBFT < PBFT < SERVERLESSCFT < NOSHIM.
+        assert by_system["SERVERLESSBFT"] < by_system["PBFT"]
+        assert by_system["PBFT"] < by_system["SERVERLESSCFT"]
+        assert by_system["SERVERLESSCFT"] < by_system["NOSHIM"]
+
+    # Consensus-based systems degrade as the shim grows; NOSHIM stays flat.
+    sbft = experiments_series(table, "SERVERLESSBFT")
+    noshim = experiments_series(table, "NOSHIM")
+    assert sbft[4] > sbft[128]
+    assert abs(noshim[4] - noshim[128]) <= 0.05 * noshim[4]
+
+
+def experiments_series(table, system):
+    return table.series("replicas", "throughput_txn_s", system=system)
+
+
+def test_fig7_simulated_points(benchmark, sim_scale):
+    """Measured points: all four systems on a 4-node shim."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig7-simulated-points",
+            columns=("system", "throughput_txn_s", "latency_s"),
+        )
+        # Smaller than the usual measured scale: this point runs four full
+        # deployments back to back.
+        config = sim_scale.protocol_config(shim_nodes=4, num_clients=100, client_groups=4)
+        workload = sim_scale.workload_config(clients=100)
+        duration, warmup = 1.0, 0.2
+
+        runs = {
+            "SERVERLESSBFT": ServerlessBFTSimulation(config, workload=workload, tracer_enabled=False),
+            "SERVERLESSCFT": build_serverless_cft_simulation(config, workload, tracer_enabled=False),
+            "NOSHIM": build_noshim_simulation(config, workload, tracer_enabled=False),
+        }
+        for label, simulation in runs.items():
+            result = simulation.run(duration=duration, warmup=warmup)
+            table.add(
+                system=label,
+                throughput_txn_s=result.throughput_txn_per_sec,
+                latency_s=result.latency.mean,
+            )
+        replicated = PBFTReplicatedSimulation(config, workload=workload, tracer_enabled=False)
+        result = replicated.run(duration=duration, warmup=warmup)
+        table.add(
+            system="PBFT",
+            throughput_txn_s=result.throughput_txn_per_sec,
+            latency_s=result.latency.mean,
+        )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    throughput = {row["system"]: row["throughput_txn_s"] for row in table.rows}
+    # Every system makes progress, and removing consensus (NOSHIM) is at
+    # least as fast as running BFT consensus at the shim.
+    assert all(value > 0 for value in throughput.values())
+    assert throughput["NOSHIM"] >= 0.8 * throughput["SERVERLESSBFT"]

@@ -1,0 +1,73 @@
+"""Figure 8 — task offloading: serverless-edge vs edge-only PBFT.
+
+Compares peak throughput and monetary cost (cents per kilo-transaction) as
+the transactions' execution time grows, for SERVBFT-32 with 3 executors and
+an edge-only PBFT shim of 32 nodes with 1, 8, or 16 execution threads.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.baselines import PBFTReplicatedSimulation
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable, simulate_point
+
+
+def test_fig8_model_sweep(benchmark, paper_setup):
+    """Model sweep over execution times 0–2000 ms."""
+    table = benchmark(experiments.task_offloading, paper_setup)
+    emit(table)
+
+    serverless = table.series("execution_ms", "throughput_txn_s", system="SERVBFT-32")
+    pbft_1 = table.series("execution_ms", "throughput_txn_s", system="PBFT-1-ET")
+    pbft_16 = table.series("execution_ms", "throughput_txn_s", system="PBFT-16-ET")
+    for milliseconds in (500, 1000, 2000):
+        # With compute-heavy transactions the serverless-edge model keeps a
+        # large throughput advantage over the resource-bounded edge-only PBFT.
+        assert serverless[milliseconds] > 10 * pbft_16[milliseconds]
+        # More execution threads help the edge-only deployment.
+        assert pbft_16[milliseconds] > pbft_1[milliseconds]
+
+    serverless_cost = table.series("execution_ms", "cents_per_ktxn", system="SERVBFT-32")
+    pbft_1_cost = table.series("execution_ms", "cents_per_ktxn", system="PBFT-1-ET")
+    for milliseconds in (500, 1000, 2000):
+        # Resource-boundedness also increases monetary cost per transaction.
+        assert pbft_1_cost[milliseconds] > serverless_cost[milliseconds]
+
+
+def test_fig8_simulated_points(benchmark, sim_scale):
+    """Measured points: 100 ms execution, serverless vs edge-only (1 thread)."""
+
+    def run_points():
+        table = ExperimentTable(
+            name="fig8-simulated-points",
+            columns=("system", "throughput_txn_s", "cents_per_ktxn"),
+        )
+        config = sim_scale.protocol_config(shim_nodes=4)
+        workload = sim_scale.workload_config(execution_seconds=0.1)
+        result = simulate_point(
+            config, workload=workload, duration=sim_scale.duration, warmup=sim_scale.warmup
+        )
+        table.add(
+            system="SERVERLESSBFT",
+            throughput_txn_s=result.throughput_txn_per_sec,
+            cents_per_ktxn=result.cents_per_kilo_txn,
+        )
+        replicated = PBFTReplicatedSimulation(
+            config, workload=workload, execution_threads=1, tracer_enabled=False
+        )
+        result = replicated.run(duration=sim_scale.duration, warmup=sim_scale.warmup)
+        table.add(
+            system="PBFT-1-ET",
+            throughput_txn_s=result.throughput_txn_per_sec,
+            cents_per_ktxn=result.cents_per_kilo_txn,
+        )
+        return table
+
+    table = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    emit(table)
+    throughput = {row["system"]: row["throughput_txn_s"] for row in table.rows}
+    # Offloading the 100 ms compute phase to the serverless cloud beats
+    # executing it on the (single-threaded) edge devices.
+    assert throughput["SERVERLESSBFT"] > throughput["PBFT-1-ET"]

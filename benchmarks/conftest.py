@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper: it evaluates the
+analytical model over the paper's full parameter sweep (printed as a table,
+recorded in EXPERIMENTS.md) and times either that evaluation or a scaled-down
+message-level simulation point with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.defaults import PAPER, SCALE
+from repro.bench.harness import format_table
+
+
+@pytest.fixture(scope="session")
+def paper_setup():
+    """The paper's experimental setup constants."""
+    return PAPER
+
+
+@pytest.fixture(scope="session")
+def sim_scale():
+    """Scaled-down deployment used for measured simulation points."""
+    return SCALE
+
+
+def emit(table) -> None:
+    """Print an experiment table so it appears in the benchmark output."""
+    print()
+    print(format_table(table, float_format="{:,.3f}"))

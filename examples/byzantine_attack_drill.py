@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Byzantine attack drill: inject the paper's attacks and watch the recovery.
+
+Three scenarios from Section V and VI:
+
+1. **Request suppression** — the primary drops every client request.  Client
+   timers expire, clients retransmit to the verifier, the verifier broadcasts
+   ERROR/REPLACE messages, and the shim replaces the primary via view change.
+2. **Fewer executors** — the primary commits requests but spawns only one
+   executor, so the verifier never sees f_E + 1 matching VERIFY messages; its
+   abort-detection timer blames the primary and triggers a view change.
+3. **Byzantine executors** — up to f_E executors return fabricated results
+   and flood the verifier with duplicates; the matching quorum filters them
+   out and the storage is updated only with the honest result.
+
+Run with:  python examples/byzantine_attack_drill.py
+"""
+
+from repro import ProtocolConfig, ServerlessBFTSimulation, YCSBConfig
+from repro.faults.byzantine import (
+    DuplicateVerifyBehaviour,
+    FewerExecutorsBehaviour,
+    RequestIgnoranceBehaviour,
+    WrongResultBehaviour,
+)
+from repro.faults.injector import PerBatchExecutorFaults
+
+
+def base_config(**overrides) -> ProtocolConfig:
+    params = dict(
+        shim_nodes=4,
+        num_executors=3,
+        num_executor_regions=3,
+        batch_size=10,
+        num_clients=40,
+        client_groups=4,
+        client_timeout=0.5,
+        node_request_timeout=0.8,
+        verifier_quorum_timeout=0.5,
+        retransmission_timeout=0.5,
+    )
+    params.update(overrides)
+    return ProtocolConfig(**params)
+
+
+def workload() -> YCSBConfig:
+    return YCSBConfig(num_records=5_000, clients=40)
+
+
+def scenario_request_suppression() -> None:
+    print("\n[1] Request suppression: byzantine primary drops every request")
+    simulation = ServerlessBFTSimulation(
+        base_config(),
+        workload=workload(),
+        node_behaviours={"node-0": RequestIgnoranceBehaviour(drop_every=1)},
+    )
+    result = simulation.run(duration=6.0, warmup=0.0)
+    primary_after = simulation.nodes[1].current_primary
+    print(f"    client retransmissions to the verifier : {result.client_retransmissions}")
+    print(f"    verifier ERROR broadcasts               : {result.verifier_errors_sent}")
+    print(f"    view changes installed                  : {result.view_changes}")
+    print(f"    primary after recovery                  : {primary_after}")
+    print(f"    transactions committed despite attack   : {result.committed_txns}")
+
+
+def scenario_fewer_executors() -> None:
+    print("\n[2] Fewer executors: byzantine primary spawns only 1 of 3 executors")
+    simulation = ServerlessBFTSimulation(
+        base_config(),
+        workload=workload(),
+        node_behaviours={"node-0": FewerExecutorsBehaviour(spawn_at_most=1)},
+    )
+    result = simulation.run(duration=6.0, warmup=0.0)
+    print(f"    REPLACE messages from the verifier      : {result.verifier_replace_sent}")
+    print(f"    view changes installed                  : {result.view_changes}")
+    print(f"    transactions committed despite attack   : {result.committed_txns}")
+
+
+def scenario_byzantine_executors() -> None:
+    print("\n[3] Byzantine executors: f_E executors fabricate results and flood")
+    wrong_result = PerBatchExecutorFaults(count=1, behaviour_factory=WrongResultBehaviour)
+    simulation = ServerlessBFTSimulation(
+        base_config(),
+        workload=workload(),
+        executor_behaviour_factory=wrong_result,
+    )
+    result = simulation.run(duration=4.0, warmup=0.0)
+    print(f"    transactions committed                  : {result.committed_txns}")
+    print(f"    transactions aborted                    : {result.aborted_txns}")
+    print(f"    duplicate/ignored VERIFY messages       : {result.verifier_ignored_verify}")
+
+    flooding = PerBatchExecutorFaults(
+        count=1, behaviour_factory=lambda: DuplicateVerifyBehaviour(copies=10)
+    )
+    simulation = ServerlessBFTSimulation(
+        base_config(),
+        workload=workload(),
+        executor_behaviour_factory=flooding,
+    )
+    result = simulation.run(duration=4.0, warmup=0.0)
+    print(f"    with flooding executors, ignored VERIFY : {result.verifier_ignored_verify}")
+    print(f"    throughput still sustained              : {result.throughput_txn_per_sec:,.0f} txn/s")
+
+
+def main() -> None:
+    print("ServerlessBFT byzantine attack drill")
+    print("=" * 60)
+    scenario_request_suppression()
+    scenario_fewer_executors()
+    scenario_byzantine_executors()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Task-offloading economics (the Figure 8 story).
+
+An edge application whose transactions carry a compute-intensive phase
+(video analytics, ML scoring) can either execute everything on its edge
+devices (classic replicated PBFT) or offload execution to serverless
+executors (ServerlessBFT).  This example quantifies both options — peak
+throughput and cents per thousand transactions — first with the analytical
+model over the paper's full sweep and then with one measured simulation
+point per system.
+
+Run with:  python examples/offload_economics.py
+"""
+
+from repro import ProtocolConfig, ServerlessBFTSimulation, YCSBConfig
+from repro.baselines import PBFTReplicatedSimulation
+from repro.bench import experiments
+from repro.bench.harness import format_table
+
+
+def model_sweep() -> None:
+    table = experiments.task_offloading()
+    print(format_table(table, float_format="{:,.2f}"))
+
+
+def measured_point(execution_ms: int = 100) -> None:
+    config = ProtocolConfig(
+        shim_nodes=4,
+        num_executors=3,
+        num_executor_regions=3,
+        batch_size=25,
+        num_clients=200,
+        client_groups=8,
+    )
+    workload = YCSBConfig(
+        num_records=10_000, clients=200, execution_seconds=execution_ms / 1000.0
+    )
+
+    serverless = ServerlessBFTSimulation(config, workload=workload, tracer_enabled=False)
+    serverless_result = serverless.run(duration=2.0, warmup=0.4)
+
+    edge_only = PBFTReplicatedSimulation(
+        config, workload=workload, execution_threads=1, tracer_enabled=False
+    )
+    edge_result = edge_only.run(duration=2.0, warmup=0.4)
+
+    print(f"\nmeasured point ({execution_ms} ms execution per batch):")
+    print(
+        f"  ServerlessBFT : {serverless_result.throughput_txn_per_sec:9,.0f} txn/s"
+        f"   {serverless_result.cents_per_kilo_txn:8.3f} c/ktxn"
+    )
+    print(
+        f"  PBFT (1 ET)   : {edge_result.throughput_txn_per_sec:9,.0f} txn/s"
+        f"   {edge_result.cents_per_kilo_txn:8.3f} c/ktxn"
+    )
+
+
+def main() -> None:
+    print("Task offloading: serverless-edge vs edge-only execution")
+    print("=" * 70)
+    model_sweep()
+    measured_point()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small ServerlessBFT deployment end to end.
+
+Builds the full serverless-edge architecture — clients, a 4-node shim
+running PBFT, a serverless cloud spawning 3 executors per batch in 3
+regions, the trusted verifier, and the on-premise storage — runs it for a
+few seconds of virtual time, and prints the metrics the paper reports.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ProtocolConfig, ServerlessBFTSimulation, YCSBConfig
+
+
+def main() -> None:
+    config = ProtocolConfig(
+        shim_nodes=4,          # n_R = 3 f_R + 1 with f_R = 1
+        num_executors=3,       # n_E = 2 f_E + 1 with f_E = 1
+        num_executor_regions=3,
+        batch_size=50,
+        num_clients=400,
+        client_groups=8,
+    )
+    workload = YCSBConfig(
+        num_records=10_000,
+        operations_per_transaction=4,
+        write_fraction=0.5,
+        clients=400,
+    )
+
+    simulation = ServerlessBFTSimulation(config, workload=workload)
+    result = simulation.run(duration=3.0, warmup=0.5)
+
+    print("ServerlessBFT quickstart")
+    print("-" * 40)
+    print(f"committed transactions : {result.committed_txns}")
+    print(f"aborted transactions   : {result.aborted_txns}")
+    print(f"throughput             : {result.throughput_txn_per_sec:,.0f} txn/s")
+    print(f"mean latency           : {result.latency.mean * 1000:.1f} ms")
+    print(f"p99 latency            : {result.latency.p99 * 1000:.1f} ms")
+    print(f"executors spawned      : {result.spawned_executors}")
+    print(f"view changes           : {result.view_changes}")
+    print(f"lambda invocations     : {result.billing.lambda_invocations}")
+    print(f"monetary cost          : {result.cents_per_kilo_txn:.3f} cents per 1k txns")
+
+
+if __name__ == "__main__":
+    main()

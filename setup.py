@@ -1,0 +1,10 @@
+"""Setuptools shim so ``pip install -e .`` works without the wheel package.
+
+The offline environment lacks ``wheel``, which PEP 517 editable installs
+need; the legacy ``setup.py develop`` path used via
+``pip install -e . --no-use-pep517 --no-build-isolation`` does not.
+"""
+
+from setuptools import setup
+
+setup()

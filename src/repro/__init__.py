@@ -1,0 +1,31 @@
+"""ServerlessBFT: reliable transactions in a serverless-edge architecture.
+
+This package is a from-scratch Python reproduction of the ICDE 2023 paper
+"Reliable Transactions in Serverless-Edge Architecture" (ServerlessBFT).
+It contains the protocol itself (``repro.core``), every substrate the paper
+depends on (discrete-event simulation, network, cryptography, storage,
+serverless cloud, YCSB workloads), the baselines used in the evaluation,
+and a benchmark harness that regenerates every figure of the paper.
+
+Typical entry points:
+
+* :class:`repro.core.config.ProtocolConfig` — configure a deployment.
+* :class:`repro.core.runner.ServerlessBFTSimulation` — build and run a
+  message-level simulation of the full architecture.
+* :mod:`repro.bench.experiments` — regenerate the paper's figures.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.runner import ServerlessBFTSimulation, SimulationResult
+from repro.workload.ycsb import YCSBConfig, YCSBWorkload
+
+__all__ = [
+    "ProtocolConfig",
+    "ServerlessBFTSimulation",
+    "SimulationResult",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "__version__",
+]
+
+__version__ = "1.0.0"

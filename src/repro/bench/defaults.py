@@ -1,0 +1,119 @@
+"""Constants of the paper's experimental setup (Section IX, "Setup").
+
+* shim sizes: SERVBFT-8 (medium) and SERVBFT-32 (large, the Blockbench max);
+* 3 executors by default, each in a distinct region;
+* batches of 100 client transactions;
+* up to 80 k clients on 4 machines, 128 shim nodes, 21 executors, 11 regions;
+* YCSB over 600 k records;
+* measured message sizes (bytes): PREPREPARE 5392, PREPARE 216, COMMIT 220,
+  EXECUTE 3320, RESPONSE 2270.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.workload.ycsb import YCSBConfig
+
+
+@dataclass(frozen=True)
+class PaperSetup:
+    """The default experimental setup of the paper."""
+
+    medium_shim: int = 8
+    large_shim: int = 32
+    default_executors: int = 3
+    default_batch_size: int = 100
+    default_regions: int = 3
+    max_regions: int = 11
+    max_executors: int = 21
+    max_shim_nodes: int = 128
+    max_clients: int = 88_000
+    ycsb_records: int = 600_000
+    run_seconds: int = 180
+    warmup_seconds: int = 60
+
+    #: Client counts of Figure 5 (doubling for five points, then +8 k).
+    client_sweep: Tuple[int, ...] = (2_000, 4_000, 8_000, 16_000, 32_000, 40_000, 48_000,
+                                     56_000, 64_000, 72_000, 80_000, 88_000)
+    executor_sweep: Tuple[int, ...] = (3, 5, 11, 15, 21)
+    batch_sweep: Tuple[int, ...] = (10, 100, 200, 1_000, 5_000, 8_000)
+    execution_sweep_seconds: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0)
+    region_sweep: Tuple[int, ...] = (5, 7, 9, 11)
+    core_sweep: Tuple[int, ...] = (2, 4, 8, 12, 16)
+    conflict_sweep_percent: Tuple[int, ...] = (0, 10, 20, 30, 40, 50)
+    replica_sweep: Tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+    offload_execution_ms: Tuple[int, ...] = (0, 50, 100, 500, 1_000, 1_500, 2_000)
+    offload_execution_threads: Tuple[int, ...] = (1, 8, 16)
+
+    def protocol_config(self, shim_nodes: int, **overrides) -> ProtocolConfig:
+        """A :class:`ProtocolConfig` matching the paper's defaults."""
+        params = dict(
+            shim_nodes=shim_nodes,
+            shim_cores=16,
+            batch_size=self.default_batch_size,
+            num_executors=self.default_executors,
+            num_executor_regions=self.default_regions,
+            verifier_cores=8,
+            num_clients=80_000,
+            client_groups=32,
+        )
+        params.update(overrides)
+        return ProtocolConfig(**params)
+
+    def workload_config(self, **overrides) -> YCSBConfig:
+        """A :class:`YCSBConfig` matching the paper's YCSB setup."""
+        params = dict(
+            num_records=self.ycsb_records,
+            operations_per_transaction=4,
+            write_fraction=0.5,
+            conflict_fraction=0.0,
+            clients=256,
+        )
+        params.update(overrides)
+        return YCSBConfig(**params)
+
+
+#: Scaled-down knobs used by the message-level simulation points in
+#: ``benchmarks/`` so each point runs in seconds of wall-clock time.  The
+#: analytical model covers the paper-scale sweeps.
+@dataclass(frozen=True)
+class SimulationScale:
+    """Scaled-down deployment used for measured (DES) benchmark points."""
+
+    shim_nodes: int = 4
+    batch_size: int = 25
+    num_clients: int = 200
+    client_groups: int = 8
+    duration: float = 2.0
+    warmup: float = 0.4
+    storage_records: int = 5_000
+
+    def protocol_config(self, **overrides) -> ProtocolConfig:
+        params = dict(
+            shim_nodes=self.shim_nodes,
+            batch_size=self.batch_size,
+            num_clients=self.num_clients,
+            client_groups=self.client_groups,
+            num_executors=3,
+            num_executor_regions=3,
+            storage_records=self.storage_records,
+        )
+        params.update(overrides)
+        return ProtocolConfig(**params)
+
+    def workload_config(self, **overrides) -> YCSBConfig:
+        params = dict(
+            num_records=self.storage_records,
+            operations_per_transaction=4,
+            write_fraction=0.5,
+            clients=self.num_clients,
+        )
+        params.update(overrides)
+        return YCSBConfig(**params)
+
+
+PAPER = PaperSetup()
+SCALE = SimulationScale()

@@ -1,0 +1,391 @@
+"""Experiment definitions — one per figure of the paper's evaluation.
+
+Every function returns an :class:`repro.bench.harness.ExperimentTable`
+holding the same series the corresponding figure plots.  The sweeps are
+evaluated with the analytical performance model, which shares all cost
+constants with the message-level simulator; the pytest-benchmark harnesses
+in ``benchmarks/`` add measured simulation points for the configurations
+small enough to simulate and print both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.bench.defaults import PAPER, PaperSetup
+from repro.bench.harness import ExperimentTable
+from repro.core.config import ConflictMode, ProtocolConfig
+from repro.perfmodel.model import AnalyticalModel, SystemKind
+from repro.workload.ycsb import YCSBConfig
+
+
+#: Ingest cost used by deployments that skip byzantine-grade client checks
+#: (the SERVERLESSCFT and NOSHIM baselines).
+_LIGHT_INGEST_COST = 15e-6
+
+
+def _model(
+    setup: PaperSetup,
+    shim_nodes: int,
+    system: SystemKind = SystemKind.SERVERLESS_BFT,
+    execution_threads: int = 16,
+    workload_overrides: Optional[dict] = None,
+    **config_overrides,
+) -> AnalyticalModel:
+    if system in (SystemKind.SERVERLESS_CFT, SystemKind.NOSHIM):
+        config_overrides.setdefault("txn_ingest_cost", _LIGHT_INGEST_COST)
+    config = setup.protocol_config(shim_nodes, **config_overrides)
+    workload = setup.workload_config(**(workload_overrides or {}))
+    return AnalyticalModel(config, workload, system=system, execution_threads=execution_threads)
+
+
+# --------------------------------------------------------------------------- Figure 5
+
+
+def client_congestion(
+    setup: PaperSetup = PAPER,
+    shim_sizes: Sequence[int] = (8, 32),
+    client_counts: Optional[Sequence[int]] = None,
+) -> ExperimentTable:
+    """Figure 5: latency vs throughput while the client population grows."""
+    client_counts = client_counts or setup.client_sweep
+    table = ExperimentTable(
+        name="fig5-client-congestion",
+        columns=("system", "clients", "throughput_txn_s", "latency_s"),
+    )
+    for shim in shim_sizes:
+        model = _model(setup, shim)
+        for clients in client_counts:
+            throughput, latency = model.throughput_latency(clients)
+            table.add(
+                system=f"SERVBFT-{shim}",
+                clients=clients,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 6 (i, ii)
+
+
+def executor_scaling(
+    setup: PaperSetup = PAPER,
+    shim_sizes: Sequence[int] = (8, 32),
+    executor_counts: Optional[Sequence[int]] = None,
+) -> ExperimentTable:
+    """Figure 6(i,ii): impact of the number of spawned executors."""
+    executor_counts = executor_counts or setup.executor_sweep
+    table = ExperimentTable(
+        name="fig6-executor-scaling",
+        columns=("system", "executors", "throughput_txn_s", "latency_s"),
+    )
+    for shim in shim_sizes:
+        for executors in executor_counts:
+            model = _model(
+                setup,
+                shim,
+                num_executors=executors,
+                num_executor_regions=min(7, executors),
+            )
+            throughput, latency = model.throughput_latency()
+            table.add(
+                system=f"SERVBFT-{shim}",
+                executors=executors,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 6 (iii, iv)
+
+
+def batching(
+    setup: PaperSetup = PAPER,
+    shim_sizes: Sequence[int] = (8, 32),
+    batch_sizes: Optional[Sequence[int]] = None,
+) -> ExperimentTable:
+    """Figure 6(iii,iv): impact of the client-request batch size."""
+    batch_sizes = batch_sizes or setup.batch_sweep
+    table = ExperimentTable(
+        name="fig6-batching",
+        columns=("system", "batch_size", "throughput_txn_s", "latency_s"),
+    )
+    for shim in shim_sizes:
+        for batch_size in batch_sizes:
+            model = _model(setup, shim, batch_size=batch_size)
+            throughput, latency = model.throughput_latency()
+            table.add(
+                system=f"SERVBFT-{shim}",
+                batch_size=batch_size,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 6 (v, vi)
+
+
+def expensive_execution(
+    setup: PaperSetup = PAPER,
+    shim_sizes: Sequence[int] = (8, 32),
+    execution_seconds: Optional[Sequence[float]] = None,
+) -> ExperimentTable:
+    """Figure 6(v,vi): impact of compute-intensive transactions."""
+    execution_seconds = execution_seconds or setup.execution_sweep_seconds
+    table = ExperimentTable(
+        name="fig6-expensive-execution",
+        columns=("system", "execution_s", "throughput_txn_s", "latency_s"),
+    )
+    for shim in shim_sizes:
+        for seconds in execution_seconds:
+            model = _model(
+                setup,
+                shim,
+                workload_overrides={"execution_seconds": seconds},
+            )
+            throughput, latency = model.throughput_latency()
+            table.add(
+                system=f"SERVBFT-{shim}",
+                execution_s=seconds,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 6 (vii, viii)
+
+
+def region_distribution(
+    setup: PaperSetup = PAPER,
+    shim_sizes: Sequence[int] = (8, 32),
+    region_counts: Optional[Sequence[int]] = None,
+    executors: int = 11,
+) -> ExperimentTable:
+    """Figure 6(vii,viii): spreading a fixed number of executors over more regions."""
+    region_counts = region_counts or setup.region_sweep
+    table = ExperimentTable(
+        name="fig6-region-distribution",
+        columns=("system", "regions", "throughput_txn_s", "latency_s"),
+    )
+    for shim in shim_sizes:
+        for regions in region_counts:
+            model = _model(
+                setup,
+                shim,
+                num_executors=executors,
+                num_executor_regions=regions,
+            )
+            throughput, latency = model.throughput_latency()
+            table.add(
+                system=f"SERVBFT-{shim}",
+                regions=regions,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 6 (ix, x)
+
+
+def computing_power(
+    setup: PaperSetup = PAPER,
+    shim_sizes: Sequence[int] = (8, 32),
+    core_counts: Optional[Sequence[int]] = None,
+) -> ExperimentTable:
+    """Figure 6(ix,x): impact of the shim nodes' compute resources."""
+    core_counts = core_counts or setup.core_sweep
+    table = ExperimentTable(
+        name="fig6-computing-power",
+        columns=("system", "cores", "throughput_txn_s", "latency_s"),
+    )
+    for shim in shim_sizes:
+        for cores in core_counts:
+            model = _model(setup, shim, shim_cores=cores)
+            throughput, latency = model.throughput_latency()
+            table.add(
+                system=f"SERVBFT-{shim}",
+                cores=cores,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 6 (xi, xii)
+
+
+def conflicting_transactions(
+    setup: PaperSetup = PAPER,
+    shim_sizes: Sequence[int] = (8, 32),
+    conflict_percentages: Optional[Sequence[int]] = None,
+    conflict_mode: ConflictMode = ConflictMode.OPTIMISTIC,
+) -> ExperimentTable:
+    """Figure 6(xi,xii): impact of conflicting transactions (unknown rw-sets)."""
+    conflict_percentages = conflict_percentages or setup.conflict_sweep_percent
+    table = ExperimentTable(
+        name="fig6-conflicting-transactions",
+        columns=("system", "conflict_pct", "throughput_txn_s", "latency_s"),
+    )
+    for shim in shim_sizes:
+        for percent in conflict_percentages:
+            model = _model(
+                setup,
+                shim,
+                conflict_mode=conflict_mode,
+                workload_overrides={"conflict_fraction": percent / 100.0, "rw_sets_known": False},
+            )
+            throughput, latency = model.throughput_latency()
+            table.add(
+                system=f"SERVBFT-{shim}",
+                conflict_pct=percent,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 7
+
+
+_FIGURE7_SYSTEMS = (
+    ("SERVERLESSBFT", SystemKind.SERVERLESS_BFT),
+    ("SERVERLESSCFT", SystemKind.SERVERLESS_CFT),
+    ("PBFT", SystemKind.PBFT_REPLICATED),
+    ("NOSHIM", SystemKind.NOSHIM),
+)
+
+
+def baseline_comparison(
+    setup: PaperSetup = PAPER,
+    replica_counts: Optional[Sequence[int]] = None,
+) -> ExperimentTable:
+    """Figure 7: ServerlessBFT vs SERVERLESSCFT vs PBFT vs NOSHIM, 4–128 replicas."""
+    replica_counts = replica_counts or setup.replica_sweep
+    table = ExperimentTable(
+        name="fig7-baseline-comparison",
+        columns=("system", "replicas", "throughput_txn_s", "latency_s"),
+    )
+    for label, system in _FIGURE7_SYSTEMS:
+        for replicas in replica_counts:
+            model = _model(setup, replicas, system=system)
+            throughput, latency = model.throughput_latency()
+            table.add(
+                system=label,
+                replicas=replicas,
+                throughput_txn_s=throughput,
+                latency_s=latency,
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- Figure 8
+
+
+def task_offloading(
+    setup: PaperSetup = PAPER,
+    execution_ms: Optional[Sequence[int]] = None,
+    execution_threads: Optional[Sequence[int]] = None,
+    shim_nodes: int = 32,
+) -> ExperimentTable:
+    """Figure 8: serverless offloading vs edge-only PBFT (throughput and cost)."""
+    execution_ms = execution_ms or setup.offload_execution_ms
+    execution_threads = execution_threads or setup.offload_execution_threads
+    table = ExperimentTable(
+        name="fig8-task-offloading",
+        columns=("system", "execution_ms", "throughput_txn_s", "cents_per_ktxn"),
+    )
+    for milliseconds in execution_ms:
+        workload_overrides = {"execution_seconds": milliseconds / 1000.0}
+        model = _model(
+            setup,
+            shim_nodes,
+            system=SystemKind.SERVERLESS_BFT,
+            workload_overrides=workload_overrides,
+        )
+        throughput, _latency = model.throughput_latency()
+        table.add(
+            system=f"SERVBFT-{shim_nodes}",
+            execution_ms=milliseconds,
+            throughput_txn_s=throughput,
+            cents_per_ktxn=model.cost_cents_per_kilo_txn(),
+        )
+        for threads in execution_threads:
+            model = _model(
+                setup,
+                shim_nodes,
+                system=SystemKind.PBFT_REPLICATED,
+                execution_threads=threads,
+                workload_overrides=workload_overrides,
+            )
+            throughput, _latency = model.throughput_latency()
+            table.add(
+                system=f"PBFT-{threads}-ET",
+                execution_ms=milliseconds,
+                throughput_txn_s=throughput,
+                cents_per_ktxn=model.cost_cents_per_kilo_txn(),
+            )
+    return table
+
+
+# --------------------------------------------------------------------------- ablations
+
+
+def spawning_policy_ablation(
+    setup: PaperSetup = PAPER,
+    shim_nodes: int = 8,
+    executor_counts: Sequence[int] = (3, 5, 11),
+) -> ExperimentTable:
+    """Primary vs decentralized spawning: total executors spawned and cost overhead."""
+    from repro.core.spawning import executors_per_node
+
+    table = ExperimentTable(
+        name="ablation-spawning-policy",
+        columns=("executors", "primary_spawned", "decentralized_spawned", "overhead_factor"),
+    )
+    config = setup.protocol_config(shim_nodes)
+    for executors in executor_counts:
+        per_node = executors_per_node(executors, shim_nodes, config.shim_faults)
+        decentralized = per_node * shim_nodes
+        table.add(
+            executors=executors,
+            primary_spawned=executors,
+            decentralized_spawned=decentralized,
+            overhead_factor=decentralized / executors,
+        )
+    return table
+
+
+def conflict_avoidance_ablation(
+    setup: PaperSetup = PAPER,
+    shim_nodes: int = 8,
+    conflict_percentages: Sequence[int] = (0, 10, 30, 50),
+) -> ExperimentTable:
+    """Optimistic execution (unknown rw-sets) vs best-effort conflict avoidance."""
+    table = ExperimentTable(
+        name="ablation-conflict-avoidance",
+        columns=("conflict_pct", "mode", "throughput_txn_s", "abort_fraction"),
+    )
+    for percent in conflict_percentages:
+        for mode in (ConflictMode.OPTIMISTIC, ConflictMode.CONFLICT_AVOIDANCE):
+            model = _model(
+                setup,
+                shim_nodes,
+                conflict_mode=mode,
+                workload_overrides={
+                    "conflict_fraction": percent / 100.0,
+                    "rw_sets_known": mode is ConflictMode.CONFLICT_AVOIDANCE,
+                },
+            )
+            throughput, _latency = model.throughput_latency()
+            table.add(
+                conflict_pct=percent,
+                mode=mode.value,
+                throughput_txn_s=throughput,
+                abort_fraction=model._abort_fraction(),
+            )
+    return table

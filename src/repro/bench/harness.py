@@ -1,0 +1,82 @@
+"""Experiment harness utilities: running points and formatting tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.core.runner import ServerlessBFTSimulation, SimulationResult
+from repro.workload.ycsb import YCSBConfig
+
+
+@dataclass
+class ExperimentTable:
+    """Rows of one experiment, in the same shape as the paper's plot series."""
+
+    name: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def series(self, key_column: str, value_column: str, **filters: object) -> Dict[object, object]:
+        """Return a ``{key: value}`` series optionally filtered by other columns."""
+        selected = {}
+        for row in self.rows:
+            if all(row.get(column) == expected for column, expected in filters.items()):
+                selected[row.get(key_column)] = row.get(value_column)
+        return selected
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def format_table(table: ExperimentTable, float_format: str = "{:,.1f}") -> str:
+    """Render an experiment table as aligned text (printed by the benches)."""
+    columns = list(table.columns)
+    rendered_rows = []
+    for row in table.rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(column), *(len(rendered[i]) for rendered in rendered_rows)) if rendered_rows else len(column)
+        for i, column in enumerate(columns)
+    ]
+    lines = [
+        f"== {table.name} ==",
+        "  ".join(column.ljust(width) for column, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for rendered in rendered_rows:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def simulate_point(
+    config: ProtocolConfig,
+    workload: Optional[YCSBConfig] = None,
+    consensus_engine: str = "pbft",
+    duration: float = 3.0,
+    warmup: float = 0.5,
+    **runner_kwargs,
+) -> SimulationResult:
+    """Run one message-level simulation point (used by the measured benches)."""
+    simulation = ServerlessBFTSimulation(
+        config,
+        workload=workload,
+        consensus_engine=consensus_engine,
+        tracer_enabled=False,
+        **runner_kwargs,
+    )
+    return simulation.run(duration=duration, warmup=warmup)

@@ -1,0 +1,106 @@
+"""Monetary cost model (Figure 8).
+
+The paper reports cents per thousand transactions using "the precise costs
+for spawning serverless executors at AWS Lambda and running machines on
+OCI".  We use the published list prices:
+
+* AWS Lambda: $0.20 per million requests plus $0.0000166667 per GB-second
+  of execution (x86, us-west region family at the time of the paper).
+* OCI ``VM.Standard.E3.Flex``: $0.025 per OCPU-hour plus $0.0015 per
+  GB-hour of memory.
+
+The comparison in Figure 8 charges the serverless-edge deployment for the
+shim VMs *and* the Lambda invocations, and charges the edge-only PBFT
+deployment for its (longer-running or larger) VMs only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class LambdaPricing:
+    """AWS Lambda list prices."""
+
+    price_per_request: float = 0.20 / 1_000_000
+    price_per_gb_second: float = 0.0000166667
+    memory_gb: float = 1.0
+
+    def invocation_cost(self, duration_seconds: float) -> float:
+        """Dollar cost of one invocation of the given duration."""
+        billed_duration = max(duration_seconds, 0.001)
+        return self.price_per_request + billed_duration * self.memory_gb * self.price_per_gb_second
+
+
+@dataclass(frozen=True)
+class VmPricing:
+    """OCI VM.Standard.E3.Flex list prices."""
+
+    price_per_ocpu_hour: float = 0.025
+    price_per_gb_hour: float = 0.0015
+    memory_gb_per_core: float = 1.0
+
+    def vm_cost(self, cores: int, memory_gb: float, duration_seconds: float) -> float:
+        """Dollar cost of running one VM for ``duration_seconds``."""
+        hours = duration_seconds / 3600.0
+        return cores * self.price_per_ocpu_hour * hours + memory_gb * self.price_per_gb_hour * hours
+
+
+@dataclass
+class BillingReport:
+    """Accumulated charges for one experiment run."""
+
+    lambda_invocations: int = 0
+    lambda_gb_seconds: float = 0.0
+    lambda_cost: float = 0.0
+    vm_cost: float = 0.0
+    vm_core_hours: float = 0.0
+    per_spawner_cost: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return self.lambda_cost + self.vm_cost
+
+    def cents_per_kilo_txn(self, committed_transactions: int) -> float:
+        """The paper's Figure 8 metric: cents per 1000 committed transactions."""
+        if committed_transactions <= 0:
+            return 0.0
+        return (self.total_cost * 100.0) / (committed_transactions / 1000.0)
+
+
+class CostModel:
+    """Combines Lambda and VM pricing and accumulates a :class:`BillingReport`."""
+
+    def __init__(
+        self,
+        lambda_pricing: LambdaPricing = LambdaPricing(),
+        vm_pricing: VmPricing = VmPricing(),
+    ) -> None:
+        self.lambda_pricing = lambda_pricing
+        self.vm_pricing = vm_pricing
+        self._report = BillingReport()
+
+    @property
+    def report(self) -> BillingReport:
+        return self._report
+
+    def charge_invocation(self, spawner: str, duration_seconds: float) -> float:
+        """Charge one Lambda invocation to the shim node that spawned it."""
+        cost = self.lambda_pricing.invocation_cost(duration_seconds)
+        self._report.lambda_invocations += 1
+        self._report.lambda_gb_seconds += max(duration_seconds, 0.001) * self.lambda_pricing.memory_gb
+        self._report.lambda_cost += cost
+        self._report.per_spawner_cost[spawner] = self._report.per_spawner_cost.get(spawner, 0.0) + cost
+        return cost
+
+    def charge_vm_fleet(self, machines: int, cores: int, memory_gb: float, duration_seconds: float) -> float:
+        """Charge a fleet of identical VMs for the duration of the run."""
+        cost = machines * self.vm_pricing.vm_cost(cores, memory_gb, duration_seconds)
+        self._report.vm_cost += cost
+        self._report.vm_core_hours += machines * cores * duration_seconds / 3600.0
+        return cost
+
+    def reset(self) -> None:
+        self._report = BillingReport()

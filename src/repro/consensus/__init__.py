@@ -1,0 +1,43 @@
+"""Consensus engines used by the shim.
+
+The paper deploys PBFT at the shim (Section IV-B) and compares it with a
+crash-fault-tolerant Paxos-style shim (the SERVERLESSCFT baseline of
+Figure 7).  Both engines order opaque batches; the surrounding
+serverless-edge machinery (executor spawning, verifier, recovery) lives in
+:mod:`repro.core`.
+"""
+
+from repro.consensus.messages import (
+    CheckpointMsg,
+    CommitMsg,
+    NewViewMsg,
+    PaxosAcceptMsg,
+    PaxosAcceptedMsg,
+    PrePrepareMsg,
+    PrepareMsg,
+    ViewChangeMsg,
+)
+from repro.consensus.quorums import QuorumTracker
+from repro.consensus.log import CommittedEntry, ConsensusLog, SlotState
+from repro.consensus.pbft import PBFTConfig, PBFTReplica, ReplicaTransport
+from repro.consensus.paxos import PaxosConfig, PaxosReplica
+
+__all__ = [
+    "CheckpointMsg",
+    "CommitMsg",
+    "CommittedEntry",
+    "ConsensusLog",
+    "NewViewMsg",
+    "PBFTConfig",
+    "PBFTReplica",
+    "PaxosAcceptMsg",
+    "PaxosAcceptedMsg",
+    "PaxosConfig",
+    "PaxosReplica",
+    "PrePrepareMsg",
+    "PrepareMsg",
+    "QuorumTracker",
+    "ReplicaTransport",
+    "SlotState",
+    "ViewChangeMsg",
+]

@@ -1,0 +1,106 @@
+"""Per-replica consensus log.
+
+Each sequence number has a slot tracking how far it has progressed through
+the PBFT phases, the batch proposed for it, and — once committed — the
+commit certificate (the 2f_R + 1 commit signatures that the primary later
+forwards to executors inside EXECUTE messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.signatures import Signature
+
+
+@dataclass
+class SlotState:
+    """Progress of one sequence number at one replica."""
+
+    seq: int
+    view: int = 0
+    digest: Optional[str] = None
+    batch: Any = None
+    preprepared: bool = False
+    prepared: bool = False
+    committed: bool = False
+    commit_signatures: Dict[str, Signature] = field(default_factory=dict)
+    prepare_voters: List[str] = field(default_factory=list)
+    commit_voters: List[str] = field(default_factory=list)
+
+    @property
+    def certificate(self) -> Tuple[Signature, ...]:
+        """Commit certificate: the distinct commit signatures collected."""
+        return tuple(self.commit_signatures.values())
+
+
+@dataclass(frozen=True)
+class CommittedEntry:
+    """A decision handed to the layer above the ordering engine."""
+
+    seq: int
+    view: int
+    digest: str
+    batch: Any
+    certificate: Tuple[Signature, ...]
+
+
+class ConsensusLog:
+    """Slot table plus commit bookkeeping for one replica."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, SlotState] = {}
+        self._committed: Dict[int, CommittedEntry] = {}
+        self._last_checkpoint_seq = 0
+
+    def slot(self, seq: int) -> SlotState:
+        if seq not in self._slots:
+            self._slots[seq] = SlotState(seq=seq)
+        return self._slots[seq]
+
+    def has_slot(self, seq: int) -> bool:
+        return seq in self._slots
+
+    def committed_entries(self) -> List[CommittedEntry]:
+        return [self._committed[seq] for seq in sorted(self._committed)]
+
+    def committed_count(self) -> int:
+        return len(self._committed)
+
+    def is_committed(self, seq: int) -> bool:
+        return seq in self._committed
+
+    def record_commit(self, entry: CommittedEntry) -> None:
+        self._committed[entry.seq] = entry
+        slot = self.slot(entry.seq)
+        slot.committed = True
+        slot.digest = entry.digest
+        slot.view = entry.view
+        if entry.batch is not None:
+            slot.batch = entry.batch
+
+    def committed_since(self, seq_exclusive: int) -> List[CommittedEntry]:
+        return [entry for seq, entry in sorted(self._committed.items()) if seq > seq_exclusive]
+
+    def max_committed_seq(self) -> int:
+        return max(self._committed) if self._committed else 0
+
+    def prepared_uncommitted(self) -> List[SlotState]:
+        """Slots that prepared but did not commit (carried into view changes)."""
+        return [
+            slot
+            for seq, slot in sorted(self._slots.items())
+            if slot.prepared and not slot.committed
+        ]
+
+    @property
+    def last_checkpoint_seq(self) -> int:
+        return self._last_checkpoint_seq
+
+    def advance_checkpoint(self, seq: int) -> None:
+        self._last_checkpoint_seq = max(self._last_checkpoint_seq, seq)
+
+    def missing_below(self, seq: int) -> List[int]:
+        """Sequence numbers ≤ ``seq`` that this replica has not committed."""
+        return [candidate for candidate in range(1, seq + 1) if candidate not in self._committed]

@@ -1,0 +1,551 @@
+"""PBFT ordering engine for the shim.
+
+This module implements the three-phase PBFT protocol exactly as the paper
+uses it at the shim (Figure 3): the primary assigns a sequence number in a
+PREPREPARE (MAC-authenticated), nodes broadcast PREPARE (MAC), nodes that
+collect ``2f_R + 1`` matching PREPAREs broadcast digitally signed COMMIT
+messages, and a request is committed once ``2f_R + 1`` matching COMMITs are
+collected.  The commit signatures double as the certificate ``C`` forwarded
+to serverless executors.
+
+Also included:
+
+* PBFT view change / new view to replace a byzantine primary (Section V-A4);
+* the paper's *featherweight checkpoints* (Section V-B) that let nodes kept
+  in the dark catch up using only commit certificates;
+* per-message CPU charging through the host node's CPU resource so the
+  consensus cost scales with ``n_R`` and with the available cores, which is
+  what drives Figures 5, 6(ix,x) and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.consensus.log import CommittedEntry, ConsensusLog
+from repro.consensus.messages import (
+    COMMIT_BYTES,
+    CheckpointMsg,
+    CommitMsg,
+    NewViewMsg,
+    PREPARE_BYTES,
+    PREPREPARE_BYTES,
+    PrePrepareMsg,
+    PrepareMsg,
+    ViewChangeMsg,
+)
+from repro.consensus.quorums import QuorumTracker
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import Signature, SignatureService
+from repro.errors import ProtocolViolation
+
+
+class ReplicaTransport:
+    """Transport interface a host node provides to its ordering engine."""
+
+    def send(self, dst: str, message: Any, size_bytes: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def broadcast(self, message: Any, size_bytes: int, targets: Optional[List[str]] = None) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class PBFTConfig:
+    """Tunable knobs of the shim's PBFT instance."""
+
+    checkpoint_interval: int = 64
+    request_timeout: float = 2.0
+    use_threshold_certificates: bool = False
+
+
+class PBFTReplica:
+    """One replica's PBFT state machine.
+
+    The replica is hosted inside a :class:`repro.core.shim_node.ShimNode`
+    (or a baseline node) which supplies the transport, CPU charging, timers,
+    and the ``on_committed`` callback invoked for every decided sequence
+    number.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        replicas: List[str],
+        config: PBFTConfig,
+        transport: ReplicaTransport,
+        signer: SignatureService,
+        cost_model: CryptoCostModel,
+        host,
+        on_committed: Callable[[CommittedEntry], None],
+        on_view_installed: Optional[Callable[[int, str], None]] = None,
+        tracer=None,
+        behaviour=None,
+    ) -> None:
+        if replica_id not in replicas:
+            raise ProtocolViolation(f"replica {replica_id!r} is not part of the shim {replicas}")
+        self._id = replica_id
+        self._replicas = list(replicas)
+        self._n = len(replicas)
+        self._f = (self._n - 1) // 3
+        self._quorum = 2 * self._f + 1
+        self._config = config
+        self._transport = transport
+        self._signer = signer
+        self._costs = cost_model
+        self._host = host
+        self._on_committed = on_committed
+        self._on_view_installed = on_view_installed
+        self._tracer = tracer
+        self._behaviour = behaviour
+
+        self._view = 0
+        self._next_seq = 0
+        self._log = ConsensusLog()
+        self._prepare_quorum: QuorumTracker = QuorumTracker(self._quorum)
+        self._commit_quorum: QuorumTracker = QuorumTracker(self._quorum)
+        self._viewchange_quorum: QuorumTracker = QuorumTracker(self._quorum)
+        self._viewchange_join: QuorumTracker = QuorumTracker(self._f + 1)
+        self._sent_viewchange_for: set = set()
+        self._request_timers: Dict[int, Any] = {}
+        self._view_changes_installed = 0
+
+    # ------------------------------------------------------------------ properties
+
+    @property
+    def replica_id(self) -> str:
+        return self._id
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def f(self) -> int:
+        return self._f
+
+    @property
+    def quorum_size(self) -> int:
+        return self._quorum
+
+    @property
+    def view(self) -> int:
+        return self._view
+
+    @property
+    def log(self) -> ConsensusLog:
+        return self._log
+
+    @property
+    def view_changes_installed(self) -> int:
+        return self._view_changes_installed
+
+    @property
+    def primary(self) -> str:
+        return self.primary_of(self._view)
+
+    def primary_of(self, view: int) -> str:
+        """Nodes have a pre-decided rotation order for becoming primary."""
+        return self._replicas[view % self._n]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary == self._id
+
+    # ------------------------------------------------------------------ proposing
+
+    def propose(self, batch: Any) -> int:
+        """Primary only: assign the next sequence number and start consensus."""
+        if not self.is_primary:
+            raise ProtocolViolation(f"{self._id} is not the primary of view {self._view}")
+        self._next_seq += 1
+        seq = self._next_seq
+        batch_digest = digest(batch)
+        message = PrePrepareMsg(view=self._view, seq=seq, digest=batch_digest, batch=batch)
+
+        targets = [replica for replica in self._replicas if replica != self._id]
+        equivocation = None
+        if self._behaviour is not None:
+            targets = self._behaviour.preprepare_targets(targets)
+            equivocation = self._behaviour.equivocation(seq, batch)
+
+        slot = self._log.slot(seq)
+        slot.view = self._view
+        slot.digest = batch_digest
+        slot.batch = batch
+        slot.preprepared = True
+
+        # Hash the batch once and MAC it for every target.
+        cost = self._costs.hash_cost(PREPREPARE_BYTES) + self._costs.mac_sign * len(targets)
+        self._host.process(cost, lambda: self._emit_preprepare(message, targets, equivocation))
+        self._trace("pbft.propose", seq=seq, digest=batch_digest)
+        return seq
+
+    def _emit_preprepare(self, message: PrePrepareMsg, targets: List[str], equivocation) -> None:
+        if equivocation is not None:
+            # A byzantine primary sends one batch to half the nodes and a
+            # different batch (same sequence number) to the other half.
+            other_batch, other_targets = equivocation
+            other_message = PrePrepareMsg(
+                view=message.view,
+                seq=message.seq,
+                digest=digest(other_batch),
+                batch=other_batch,
+            )
+            first_group = [t for t in targets if t not in set(other_targets)]
+            self._transport.broadcast(message, PREPREPARE_BYTES, targets=first_group)
+            self._transport.broadcast(other_message, PREPREPARE_BYTES, targets=list(other_targets))
+        else:
+            self._transport.broadcast(message, PREPREPARE_BYTES, targets=targets)
+        # The primary also supports its own proposal with a PREPARE.
+        self._after_preprepare_accepted(message)
+
+    # ------------------------------------------------------------------ handlers
+
+    def handle(self, message: Any, sender: str) -> bool:
+        """Dispatch a consensus message.  Returns True if it was consumed."""
+        if isinstance(message, PrePrepareMsg):
+            self.on_preprepare(message, sender)
+        elif isinstance(message, PrepareMsg):
+            self.on_prepare(message, sender)
+        elif isinstance(message, CommitMsg):
+            self.on_commit(message, sender)
+        elif isinstance(message, ViewChangeMsg):
+            self.on_view_change(message, sender)
+        elif isinstance(message, NewViewMsg):
+            self.on_new_view(message, sender)
+        elif isinstance(message, CheckpointMsg):
+            self.on_checkpoint(message, sender)
+        else:
+            return False
+        return True
+
+    def on_preprepare(self, message: PrePrepareMsg, sender: str) -> None:
+        if sender != self.primary_of(message.view) or message.view != self._view:
+            return
+        slot = self._log.slot(message.seq)
+        if slot.preprepared and slot.digest != message.digest:
+            # The primary equivocated: refuse the second proposal and complain.
+            self._trace("pbft.equivocation_detected", seq=message.seq)
+            self.request_view_change(reason="equivocation")
+            return
+        if slot.committed:
+            return
+        if digest(message.batch) != message.digest:
+            return
+        slot.view = message.view
+        slot.digest = message.digest
+        slot.batch = message.batch
+        slot.preprepared = True
+        cost = self._costs.mac_verify + self._costs.hash_cost(PREPREPARE_BYTES)
+        self._host.process(cost, lambda: self._after_preprepare_accepted(message))
+
+    def _after_preprepare_accepted(self, message: PrePrepareMsg) -> None:
+        self._start_request_timer(message.seq)
+        prepare = PrepareMsg(
+            view=message.view, seq=message.seq, digest=message.digest, replica=self._id
+        )
+        if self._behaviour is None or not self._behaviour.suppress("prepare"):
+            cost = self._costs.mac_sign * (self._n - 1)
+            self._host.process(cost, lambda: self._transport.broadcast(prepare, PREPARE_BYTES))
+        self._record_prepare(prepare, self._id)
+
+    def on_prepare(self, message: PrepareMsg, sender: str) -> None:
+        if message.view != self._view:
+            return
+        self._host.process(self._costs.mac_verify, lambda: self._record_prepare(message, sender))
+
+    def _record_prepare(self, message: PrepareMsg, sender: str) -> None:
+        key = (message.view, message.seq, message.digest)
+        if self._prepare_quorum.add(key, sender):
+            slot = self._log.slot(message.seq)
+            slot.prepared = True
+            slot.prepare_voters = self._prepare_quorum.voters(key)
+            self._trace("pbft.prepared", seq=message.seq)
+            self._broadcast_commit(message.view, message.seq, message.digest)
+
+    def _broadcast_commit(self, view: int, seq: int, batch_digest: str) -> None:
+        if self._behaviour is not None and self._behaviour.suppress("commit"):
+            return
+        unsigned = CommitMsg(view=view, seq=seq, digest=batch_digest, replica=self._id)
+        signature = self._signer.sign(unsigned.canonical())
+        commit = CommitMsg(
+            view=view, seq=seq, digest=batch_digest, replica=self._id, signature=signature
+        )
+        cost = self._costs.ds_sign
+        self._host.process(cost, lambda: self._transport.broadcast(commit, COMMIT_BYTES))
+        self._record_commit_vote(commit, self._id)
+
+    def on_commit(self, message: CommitMsg, sender: str) -> None:
+        if message.view != self._view or message.replica != sender:
+            return
+        if message.signature is None:
+            return
+        if not self._signer.verify(message.unsigned().canonical(), message.signature):
+            return
+        self._host.process(self._costs.ds_verify, lambda: self._record_commit_vote(message, sender))
+
+    def _record_commit_vote(self, message: CommitMsg, sender: str) -> None:
+        key = (message.view, message.seq, message.digest)
+        slot = self._log.slot(message.seq)
+        if message.signature is not None:
+            slot.commit_signatures[sender] = message.signature
+        if self._commit_quorum.add(key, sender, payload=message.signature):
+            if slot.committed:
+                return
+            slot.committed = True
+            slot.commit_voters = self._commit_quorum.voters(key)
+            self._cancel_request_timer(message.seq)
+            entry = CommittedEntry(
+                seq=message.seq,
+                view=message.view,
+                digest=message.digest,
+                batch=slot.batch,
+                certificate=slot.certificate,
+            )
+            self._log.record_commit(entry)
+            self._trace("pbft.committed", seq=message.seq, digest=message.digest)
+            self._maybe_checkpoint(message.seq)
+            self._on_committed(entry)
+
+    # ------------------------------------------------------------------ timers
+
+    def _start_request_timer(self, seq: int) -> None:
+        if seq in self._request_timers:
+            return
+        self._request_timers[seq] = self._host.set_timer(
+            self._config.request_timeout, self._on_request_timeout, seq
+        )
+
+    def _cancel_request_timer(self, seq: int) -> None:
+        timer = self._request_timers.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_request_timeout(self, seq: int) -> None:
+        self._request_timers.pop(seq, None)
+        if self._log.is_committed(seq):
+            return
+        self._trace("pbft.request_timeout", seq=seq)
+        self.request_view_change(reason=f"timeout-seq-{seq}")
+
+    # ------------------------------------------------------------------ view change
+
+    def request_view_change(self, reason: str = "") -> None:
+        """Broadcast a VIEWCHANGE for the next view (Section V-A4)."""
+        new_view = self._view + 1
+        if new_view in self._sent_viewchange_for:
+            return
+        self._sent_viewchange_for.add(new_view)
+        prepared = tuple(
+            (slot.seq, slot.digest or "")
+            for slot in self._log.prepared_uncommitted()
+        )
+        unsigned = ViewChangeMsg(new_view=new_view, replica=self._id, prepared=prepared)
+        signature = self._signer.sign(unsigned.canonical())
+        message = ViewChangeMsg(
+            new_view=new_view, replica=self._id, prepared=prepared, signature=signature
+        )
+        self._trace("pbft.viewchange_requested", new_view=new_view, reason=reason)
+        self._host.process(
+            self._costs.ds_sign,
+            lambda: self._transport.broadcast(message, message.size_bytes),
+        )
+        self.on_view_change(message, self._id)
+
+    def on_view_change(self, message: ViewChangeMsg, sender: str) -> None:
+        if message.new_view <= self._view:
+            return
+        if message.replica != sender:
+            return
+        if message.signature is not None and not self._signer.verify(
+            message.unsigned().canonical(), message.signature
+        ):
+            return
+        key = message.new_view
+        # Joining rule: seeing f+1 view-change requests for a higher view is
+        # proof at least one honest node timed out, so join the view change.
+        if self._viewchange_join.add(key, sender) and sender != self._id:
+            if key not in self._sent_viewchange_for:
+                self.request_view_change(reason="join")
+        if self._viewchange_quorum.add(key, sender, payload=message):
+            if self.primary_of(key) == self._id:
+                self._install_new_view_as_primary(key)
+
+    def _install_new_view_as_primary(self, new_view: int) -> None:
+        supporters = frozenset(self._viewchange_quorum.voters(new_view))
+        reproposals: List[Tuple[int, str, Any]] = []
+        seen: set = set()
+        for vc in self._viewchange_quorum.payloads(new_view):
+            if vc is None:
+                continue
+            for seq, slot_digest in vc.prepared:
+                if seq in seen or self._log.is_committed(seq):
+                    continue
+                seen.add(seq)
+                local = self._log.slot(seq)
+                reproposals.append((seq, slot_digest, local.batch))
+        unsigned = NewViewMsg(
+            new_view=new_view,
+            primary=self._id,
+            reproposals=tuple(reproposals),
+            supporters=supporters,
+        )
+        signature = self._signer.sign(unsigned.canonical())
+        message = NewViewMsg(
+            new_view=new_view,
+            primary=self._id,
+            reproposals=tuple(reproposals),
+            supporters=supporters,
+            signature=signature,
+        )
+        self._host.process(
+            self._costs.ds_sign,
+            lambda: self._transport.broadcast(message, message.size_bytes),
+        )
+        self._adopt_view(new_view)
+        self._trace("pbft.newview_sent", new_view=new_view, reproposals=len(reproposals))
+        # Re-propose the prepared-but-uncommitted slots in the new view.
+        for seq, slot_digest, batch in reproposals:
+            if batch is not None:
+                self._repropose(seq, batch)
+
+    def on_new_view(self, message: NewViewMsg, sender: str) -> None:
+        if message.new_view <= self._view:
+            return
+        if sender != message.primary or self.primary_of(message.new_view) != message.primary:
+            return
+        if message.signature is not None and not self._signer.verify(
+            message.unsigned().canonical(), message.signature
+        ):
+            return
+        self._host.process(self._costs.ds_verify, lambda: self._adopt_view(message.new_view))
+        for seq, slot_digest, batch in message.reproposals:
+            if batch is None or self._log.is_committed(seq):
+                continue
+            reproposal = PrePrepareMsg(
+                view=message.new_view, seq=seq, digest=slot_digest, batch=batch
+            )
+            self.on_preprepare(reproposal, message.primary)
+
+    def _adopt_view(self, new_view: int) -> None:
+        if new_view <= self._view:
+            return
+        self._view = new_view
+        self._view_changes_installed += 1
+        # Clear any pending request timers: responsibility moves to the new primary.
+        for timer in self._request_timers.values():
+            timer.cancel()
+        self._request_timers.clear()
+        self._next_seq = max(self._next_seq, self._log.max_committed_seq())
+        self._trace("pbft.view_installed", view=new_view, primary=self.primary)
+        if self._on_view_installed is not None:
+            self._on_view_installed(new_view, self.primary)
+
+    def _repropose(self, seq: int, batch: Any) -> None:
+        batch_digest = digest(batch)
+        message = PrePrepareMsg(view=self._view, seq=seq, digest=batch_digest, batch=batch)
+        slot = self._log.slot(seq)
+        slot.view = self._view
+        slot.digest = batch_digest
+        slot.batch = batch
+        slot.preprepared = True
+        targets = [replica for replica in self._replicas if replica != self._id]
+        self._transport.broadcast(message, PREPREPARE_BYTES, targets=targets)
+        self._after_preprepare_accepted(message)
+
+    # ------------------------------------------------------------------ checkpoints
+
+    def _maybe_checkpoint(self, seq: int) -> None:
+        interval = self._config.checkpoint_interval
+        if interval <= 0:
+            return
+        if seq - self._log.last_checkpoint_seq < interval:
+            return
+        self.send_checkpoint()
+
+    def send_checkpoint(self) -> None:
+        """Broadcast a featherweight checkpoint of everything committed so far."""
+        since = self._log.last_checkpoint_seq
+        entries = self._log.committed_since(since)
+        if not entries:
+            return
+        certificates = {
+            entry.seq: (entry.digest, tuple(entry.certificate)) for entry in entries
+        }
+        up_to = max(certificates)
+        unsigned = CheckpointMsg(
+            view=self._view, up_to_seq=up_to, replica=self._id, certificates=certificates
+        )
+        signature = self._signer.sign(unsigned.canonical())
+        message = CheckpointMsg(
+            view=self._view,
+            up_to_seq=up_to,
+            replica=self._id,
+            certificates=certificates,
+            signature=signature,
+        )
+        self._log.advance_checkpoint(up_to)
+        self._host.process(
+            self._costs.ds_sign,
+            lambda: self._transport.broadcast(message, message.size_bytes),
+        )
+        self._trace("pbft.checkpoint_sent", up_to=up_to, entries=len(certificates))
+
+    def on_checkpoint(self, message: CheckpointMsg, sender: str) -> None:
+        if message.replica != sender:
+            return
+        if message.signature is not None and not self._signer.verify(
+            message.unsigned().canonical(), message.signature
+        ):
+            return
+        adopted = 0
+        verification_cost = 0.0
+        for seq, (slot_digest, signatures) in sorted(message.certificates.items()):
+            if self._log.is_committed(seq):
+                continue
+            valid = self._count_valid_certificate(seq, slot_digest, signatures, message.view)
+            verification_cost += self._costs.ds_verify * len(signatures)
+            if valid < self._quorum:
+                continue
+            entry = CommittedEntry(
+                seq=seq,
+                view=message.view,
+                digest=slot_digest,
+                batch=self._log.slot(seq).batch,
+                certificate=tuple(signatures),
+            )
+            self._log.record_commit(entry)
+            self._cancel_request_timer(seq)
+            adopted += 1
+            self._on_committed(entry)
+        if adopted:
+            self._log.advance_checkpoint(message.up_to_seq)
+            self._trace("pbft.checkpoint_adopted", from_replica=sender, adopted=adopted)
+        if verification_cost:
+            self._host.process_parallel(verification_cost, 16, lambda: None)
+
+    def _count_valid_certificate(
+        self,
+        seq: int,
+        slot_digest: str,
+        signatures: Tuple[Signature, ...],
+        view: int,
+    ) -> int:
+        valid_signers = set()
+        for signature in signatures:
+            unsigned = CommitMsg(view=view, seq=seq, digest=slot_digest, replica=signature.signer)
+            if self._signer.verify(unsigned.canonical(), signature):
+                valid_signers.add(signature.signer)
+        return len(valid_signers)
+
+    # ------------------------------------------------------------------ helpers
+
+    def certificate_for(self, seq: int) -> Tuple[Signature, ...]:
+        return self._log.slot(seq).certificate
+
+    def _trace(self, category: str, **details) -> None:
+        if self._tracer is not None:
+            self._tracer.record(self._host.now, category, self._id, **details)

@@ -1,0 +1,70 @@
+"""Quorum counting.
+
+PBFT phases repeatedly need "identical messages from N distinct nodes".
+:class:`QuorumTracker` collects votes keyed by an arbitrary vote key (e.g.
+``(view, seq, digest)``), deduplicates by sender, and reports when a
+threshold is met.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
+
+VoteKey = TypeVar("VoteKey", bound=Hashable)
+
+
+class QuorumTracker(Generic[VoteKey]):
+    """Counts distinct voters per key and fires once a threshold is reached."""
+
+    def __init__(self, threshold: int) -> None:
+        self._threshold = threshold
+        self._votes: Dict[VoteKey, Dict[str, Any]] = {}
+        self._reached: Set[VoteKey] = set()
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def add(self, key: VoteKey, voter: str, payload: Any = None) -> bool:
+        """Record a vote.  Returns True the *first* time the quorum is reached.
+
+        Duplicate votes from the same voter for the same key are ignored, as
+        required to tolerate byzantine vote replays.
+        """
+        voters = self._votes.setdefault(key, {})
+        if voter in voters:
+            return False
+        voters[voter] = payload
+        if key not in self._reached and len(voters) >= self._threshold:
+            self._reached.add(key)
+            return True
+        return False
+
+    def count(self, key: VoteKey) -> int:
+        return len(self._votes.get(key, {}))
+
+    def reached(self, key: VoteKey) -> bool:
+        return key in self._reached
+
+    def voters(self, key: VoteKey) -> List[str]:
+        return list(self._votes.get(key, {}))
+
+    def payloads(self, key: VoteKey) -> List[Any]:
+        return list(self._votes.get(key, {}).values())
+
+    def keys(self) -> List[VoteKey]:
+        return list(self._votes.keys())
+
+    def best_key_with_prefix(self, prefix_filter) -> Optional[Tuple[VoteKey, int]]:
+        """Return the key with the most votes among those accepted by ``prefix_filter``."""
+        best: Optional[Tuple[VoteKey, int]] = None
+        for key, voters in self._votes.items():
+            if not prefix_filter(key):
+                continue
+            if best is None or len(voters) > best[1]:
+                best = (key, len(voters))
+        return best
+
+    def clear(self, key: VoteKey) -> None:
+        self._votes.pop(key, None)
+        self._reached.discard(key)

@@ -1,0 +1,164 @@
+"""Deployment configuration for the serverless-edge architecture."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.crypto.costs import CryptoCostModel
+from repro.errors import ConfigurationError
+
+
+class SpawnPolicyName(str, enum.Enum):
+    """How executors are spawned after a batch commits."""
+
+    #: Only the primary spawns executors (Figure 3, the common case).
+    PRIMARY = "primary"
+    #: Every shim node spawns ``e`` executors (Section VI-B, Eq. 1/2) to
+    #: defeat byzantine-abort attacks on conflicting transactions.
+    DECENTRALIZED = "decentralized"
+
+
+class ConflictMode(str, enum.Enum):
+    """How the shim handles potentially conflicting transactions."""
+
+    #: Read-write sets unknown before execution: optimistic concurrent
+    #: spawning, the primary spawns 3f_E+1 executors, and the verifier may
+    #: abort transactions whose reads went stale (Section VI-B).
+    OPTIMISTIC = "optimistic"
+    #: Read-write sets known: the primary keeps a logical lock map and only
+    #: dispatches non-conflicting batches concurrently (Section VI-C).
+    CONFLICT_AVOIDANCE = "conflict_avoidance"
+
+
+@dataclass
+class ProtocolConfig:
+    """All architecture-level knobs of a ServerlessBFT deployment.
+
+    Workload-level knobs (read/write mix, conflict rate, execution length)
+    live in :class:`repro.workload.ycsb.YCSBConfig`.
+    """
+
+    # --- shim -----------------------------------------------------------------
+    shim_nodes: int = 4
+    shim_cores: int = 16
+    shim_region: str = "us-west-1"
+    batch_size: int = 100
+    checkpoint_interval: int = 64
+
+    # --- serverless executors ---------------------------------------------------
+    num_executors: int = 3
+    executor_faults: Optional[int] = None
+    executor_regions: Optional[List[str]] = None
+    num_executor_regions: int = 3
+    executor_concurrency_limit: int = 2500
+    cold_start_latency: float = 0.150
+    warm_start_latency: float = 0.015
+    spawn_api_cost: float = 0.0008
+    executor_read_ops_cost: float = 20e-6
+
+    # --- verifier / storage ------------------------------------------------------
+    verifier_cores: int = 8
+    verifier_region: str = "us-west-1"
+    storage_records: int = 600_000
+
+    # --- clients -----------------------------------------------------------------
+    num_clients: int = 1600
+    client_groups: int = 16
+    client_region: str = "us-west-1"
+
+    # --- timers (seconds) ----------------------------------------------------------
+    client_timeout: float = 4.0
+    node_request_timeout: float = 2.0
+    retransmission_timeout: float = 1.5
+    verifier_quorum_timeout: float = 2.0
+
+    # --- behaviour --------------------------------------------------------------
+    spawn_policy: SpawnPolicyName = SpawnPolicyName.PRIMARY
+    conflict_mode: ConflictMode = ConflictMode.OPTIMISTIC
+    use_threshold_certificates: bool = False
+
+    # --- cost model / misc --------------------------------------------------------
+    crypto_costs: CryptoCostModel = field(default_factory=CryptoCostModel)
+    message_handling_cost: float = 4e-6
+    #: CPU time the primary spends ingesting one client transaction
+    #: (parsing, request bookkeeping, its share of signature checking).
+    #: Crash-fault-tolerant and no-shim deployments use a smaller value
+    #: because they skip the byzantine-grade checks.
+    txn_ingest_cost: float = 40e-6
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ derived
+
+    @property
+    def shim_faults(self) -> int:
+        """``f_R``: byzantine shim nodes tolerated (``n_R >= 3 f_R + 1``)."""
+        return (self.shim_nodes - 1) // 3
+
+    @property
+    def shim_quorum(self) -> int:
+        """``2 f_R + 1``: messages needed to prepare/commit at the shim."""
+        return 2 * self.shim_faults + 1
+
+    @property
+    def derived_executor_faults(self) -> int:
+        """``f_E``: byzantine executors tolerated by the spawned set."""
+        if self.executor_faults is not None:
+            return self.executor_faults
+        if self.conflict_mode is ConflictMode.OPTIMISTIC and self.num_executors >= 4:
+            # With unknown read-write sets the paper requires n_E >= 3 f_E + 1.
+            return (self.num_executors - 1) // 3
+        return (self.num_executors - 1) // 2
+
+    @property
+    def executor_match_quorum(self) -> int:
+        """``f_E + 1``: matching VERIFY messages the verifier waits for."""
+        return self.derived_executor_faults + 1
+
+    @property
+    def clients_per_group(self) -> int:
+        return max(1, self.num_clients // max(1, self.client_groups))
+
+    def regions_for_executors(self, catalog_names: List[str]) -> List[str]:
+        """Regions executors are spread over, in the paper's region order."""
+        if self.executor_regions:
+            return list(self.executor_regions)
+        count = min(self.num_executor_regions, len(catalog_names))
+        return catalog_names[: max(1, count)]
+
+    # ------------------------------------------------------------------ utilities
+
+    def validate(self) -> None:
+        if self.shim_nodes < 1:
+            raise ConfigurationError("shim_nodes must be at least 1")
+        if self.shim_nodes >= 4 and self.shim_nodes < 3 * self.shim_faults + 1:
+            raise ConfigurationError("shim_nodes must satisfy n_R >= 3 f_R + 1")
+        if self.num_executors < 1:
+            raise ConfigurationError("num_executors must be at least 1")
+        if self.executor_faults is not None:
+            minimum = (
+                3 * self.executor_faults + 1
+                if self.conflict_mode is ConflictMode.OPTIMISTIC
+                else 2 * self.executor_faults + 1
+            )
+            if self.executor_faults > 0 and self.num_executors < 2 * self.executor_faults + 1:
+                raise ConfigurationError(
+                    f"num_executors={self.num_executors} cannot tolerate "
+                    f"f_E={self.executor_faults} byzantine executors (need >= {minimum})"
+                )
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        if self.num_clients < 1:
+            raise ConfigurationError("num_clients must be at least 1")
+        if self.client_groups < 1:
+            raise ConfigurationError("client_groups must be at least 1")
+        if self.shim_cores < 1 or self.verifier_cores < 1:
+            raise ConfigurationError("core counts must be at least 1")
+
+    def with_overrides(self, **overrides) -> "ProtocolConfig":
+        """Return a copy with some fields replaced (used by parameter sweeps)."""
+        return replace(self, **overrides)

@@ -1,0 +1,166 @@
+"""Serverless executors.
+
+Each executor is a fleeting, stateless serverless function (an AWS Lambda in
+the paper) spawned by a shim node for one committed batch.  An honest
+executor (Figure 3, Lines 14–20):
+
+1. checks that the EXECUTE message is well-formed and that its certificate
+   ``C`` carries ``2f_R + 1`` distinct shim signatures on the COMMIT message;
+2. fetches the current state of the batch's read-write sets from the
+   on-premise storage (read-only access);
+3. executes the transactions deterministically (plus any synthetic
+   compute-intensive phase);
+4. signs and sends a VERIFY message with the result and the observed
+   read-write set versions to the verifier; and
+5. terminates — the cloud bills the spawner for the invocation.
+
+Executors never talk to each other and never write to storage.  Byzantine
+executors may stay silent, fabricate results, or flood the verifier; those
+behaviours are injected via :mod:`repro.faults.byzantine`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.cloud.lambda_cloud import ServerlessCloud
+from repro.core.messages import ExecuteMsg, VerifyMsg
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.signatures import SignatureService
+from repro.faults.byzantine import ExecutorBehaviour
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.tracing import Tracer
+from repro.storage.service import StorageReadReply, StorageReadRequest, StorageService
+from repro.workload.transactions import execute_batch
+
+
+class Executor(SimProcess):
+    """One spawned serverless executor instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        region: str,
+        signer: SignatureService,
+        costs: CryptoCostModel,
+        cloud: ServerlessCloud,
+        storage_name: str,
+        verifier_name: str,
+        required_certificate_signers: int,
+        per_operation_cost: float = 20e-6,
+        behaviour: Optional[ExecutorBehaviour] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(sim, name, region, cores=None)
+        self._network = network
+        self._signer = signer
+        self._costs = costs
+        self._cloud = cloud
+        self._storage_name = storage_name
+        self._verifier_name = verifier_name
+        self._required_signers = required_certificate_signers
+        self._per_operation_cost = per_operation_cost
+        self._behaviour = behaviour
+        self._tracer = tracer
+        self._read_counter = itertools.count()
+        self._pending_execute: Optional[ExecuteMsg] = None
+        self._spawner: Optional[str] = None
+        self._finished = False
+        network.register(name, region, self.on_message)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def invoke(self, execute: ExecuteMsg, spawner: str) -> None:
+        """Entry point called by the serverless cloud once the sandbox starts."""
+        self._pending_execute = execute
+        self._spawner = spawner
+        if self._behaviour is not None and self._behaviour.should_ignore():
+            self._trace("executor.ignored", seq=execute.seq)
+            self._finish()
+            return
+        # Verify the commit certificate before doing any work.
+        verify_cost = execute.certificate.verification_cost(self._costs, self._required_signers)
+        self.set_timer(verify_cost, self._after_certificate_check, execute)
+
+    def _after_certificate_check(self, execute: ExecuteMsg) -> None:
+        if self._required_signers > 0 and not execute.certificate.verify(
+            self._signer, self._required_signers
+        ):
+            # An EXECUTE without a valid certificate is evidence of a byzantine
+            # spawner: refuse to execute and terminate (the spawner still pays).
+            self._trace("executor.invalid_certificate", seq=execute.seq, spawner=self._spawner)
+            self._finish()
+            return
+        keys = sorted(execute.batch.keys)
+        if not keys:
+            self._execute_with_data(execute, {}, {})
+            return
+        request = StorageReadRequest(
+            request_id=f"{self.name}-read-{next(self._read_counter)}",
+            keys=tuple(keys),
+        )
+        size = StorageService.REQUEST_BYTES_PER_KEY * len(keys)
+        self._network.send(self.name, self._storage_name, request, size_bytes=size)
+        self._trace("executor.storage_read", seq=execute.seq, keys=len(keys))
+
+    def on_message(self, message, sender: str) -> None:
+        if isinstance(message, StorageReadReply) and self._pending_execute is not None:
+            values = {key: entry.value for key, entry in message.result.values.items()}
+            versions = {key: entry.version for key, entry in message.result.values.items()}
+            self._execute_with_data(self._pending_execute, values, versions)
+
+    # ------------------------------------------------------------------ execution
+
+    def _execute_with_data(self, execute: ExecuteMsg, values, versions) -> None:
+        batch = execute.batch
+        compute_time = batch.execution_seconds
+        compute_time += self._per_operation_cost * sum(
+            len(txn.operations) for txn in batch.transactions
+        )
+        self.set_timer(max(0.0, compute_time), self._finish_execution, execute, values, versions)
+
+    def _finish_execution(self, execute: ExecuteMsg, values, versions) -> None:
+        result = execute_batch(execute.batch, values, versions)
+        if self._behaviour is not None:
+            result = self._behaviour.corrupt_result(result)
+        unsigned = VerifyMsg(
+            seq=execute.seq,
+            batch=execute.batch,
+            digest=execute.digest,
+            certificate=execute.certificate,
+            result=result,
+            executor=self.name,
+        )
+        message = VerifyMsg(
+            seq=execute.seq,
+            batch=execute.batch,
+            digest=execute.digest,
+            certificate=execute.certificate,
+            result=result,
+            executor=self.name,
+            signature=self._signer.sign(unsigned.canonical()),
+        )
+        copies = 1 if self._behaviour is None else self._behaviour.verify_copies()
+        sign_cost = self._costs.ds_sign
+        self.set_timer(sign_cost, self._send_verify, message, copies)
+
+    def _send_verify(self, message: VerifyMsg, copies: int) -> None:
+        for _ in range(max(1, copies)):
+            self._network.send(self.name, self._verifier_name, message, message.size_bytes)
+        self._trace("executor.verify_sent", seq=message.seq, copies=copies)
+        self._finish()
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._cloud.finish(self.name)
+
+    def _trace(self, category: str, **details) -> None:
+        if self._tracer is not None:
+            self._tracer.record(self.now, category, self.name, **details)

@@ -1,0 +1,115 @@
+"""Executor spawn policies.
+
+After a batch commits, someone has to spawn the ``n_E`` serverless executors
+that will execute it:
+
+* **Primary spawning** (Figure 3) — only the current primary spawns, one
+  executor per selected region, round-robin over the configured regions.
+* **Decentralized spawning** (Section VI-B) — every shim node spawns ``e``
+  executors, where ``e`` follows Equation (1) (or Equation (2) when up to
+  ``f_R`` honest nodes may be in the dark).  This defeats the byzantine-abort
+  attack in which a byzantine primary intentionally delays spawning for
+  conflicting transactions, at the price of spawning ``e × n_R ≥ n_E``
+  executors overall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+def executors_per_node(
+    num_executors: int,
+    shim_nodes: int,
+    shim_faults: int,
+    nodes_in_dark: bool = False,
+) -> int:
+    """The paper's Equation (1) / Equation (2): executors each node spawns.
+
+    Equation (1) assumes every honest node commits the request; Equation (2)
+    is the conservative variant when up to ``f_R`` honest nodes may be kept
+    in the dark by a byzantine primary.
+    """
+    if num_executors <= 0 or shim_nodes <= 0:
+        raise ConfigurationError("num_executors and shim_nodes must be positive")
+    if num_executors <= shim_nodes:
+        return 1
+    spawners = (shim_faults + 1) if nodes_in_dark else (2 * shim_faults + 1)
+    return math.ceil(num_executors / max(1, spawners))
+
+
+@dataclass(frozen=True)
+class SpawnPlan:
+    """Which regions a particular shim node should spawn executors in."""
+
+    spawner: str
+    regions: List[str]
+
+    @property
+    def count(self) -> int:
+        return len(self.regions)
+
+
+class PrimarySpawnPolicy:
+    """Only the primary spawns; executors round-robin over the regions."""
+
+    def __init__(self, num_executors: int, regions: List[str]) -> None:
+        if not regions:
+            raise ConfigurationError("at least one executor region is required")
+        self._num_executors = num_executors
+        self._regions = list(regions)
+
+    @property
+    def num_executors(self) -> int:
+        return self._num_executors
+
+    def plan(self, node_id: str, is_primary: bool) -> SpawnPlan:
+        if not is_primary:
+            return SpawnPlan(spawner=node_id, regions=[])
+        regions = [
+            self._regions[index % len(self._regions)] for index in range(self._num_executors)
+        ]
+        return SpawnPlan(spawner=node_id, regions=regions)
+
+    def expected_total(self) -> int:
+        return self._num_executors
+
+
+class DecentralizedSpawnPolicy:
+    """Every shim node spawns ``e`` executors (Equations 1 and 2)."""
+
+    def __init__(
+        self,
+        num_executors: int,
+        regions: List[str],
+        shim_nodes: int,
+        shim_faults: int,
+        assume_nodes_in_dark: bool = False,
+    ) -> None:
+        if not regions:
+            raise ConfigurationError("at least one executor region is required")
+        self._regions = list(regions)
+        self._shim_nodes = shim_nodes
+        self._per_node = executors_per_node(
+            num_executors, shim_nodes, shim_faults, nodes_in_dark=assume_nodes_in_dark
+        )
+
+    @property
+    def per_node(self) -> int:
+        return self._per_node
+
+    def plan(self, node_id: str, is_primary: bool) -> SpawnPlan:
+        # Stagger regions by node so the spawned executors spread out even
+        # when each node only spawns one.
+        offset = abs(hash(node_id)) % len(self._regions)
+        regions = [
+            self._regions[(offset + index) % len(self._regions)] for index in range(self._per_node)
+        ]
+        return SpawnPlan(spawner=node_id, regions=regions)
+
+    def expected_total(self) -> int:
+        return self._per_node * self._shim_nodes

@@ -1,0 +1,37 @@
+"""Cryptography substrate.
+
+The paper uses CryptoPP digital signatures, MACs (via Diffie–Hellman shared
+keys), and SHA-based digests.  We reproduce the *interfaces and guarantees*
+those primitives provide inside the simulation:
+
+* digital signatures give non-repudiation — anyone holding the signer's
+  public key can verify, and a byzantine component cannot forge a signature
+  of an honest component (enforced by keeping private keys secret inside
+  :class:`KeyStore`);
+* MACs are cheaper but only pairwise-verifiable;
+* digests are collision-resistant (SHA-256);
+* threshold signatures aggregate ``2f+1`` shares into one constant-size proof.
+
+The :class:`CryptoCostModel` charges realistic CPU time for each operation so
+the MAC-vs-DS and certificate-size trade-offs discussed in the paper survive
+in the performance results.
+"""
+
+from repro.crypto.hashing import digest
+from repro.crypto.keys import KeyPair, KeyStore
+from repro.crypto.signatures import MacAuthenticator, Signature, SignatureService, SignedMessage
+from repro.crypto.threshold import ThresholdSignature, ThresholdSigner
+from repro.crypto.costs import CryptoCostModel
+
+__all__ = [
+    "CryptoCostModel",
+    "KeyPair",
+    "KeyStore",
+    "MacAuthenticator",
+    "Signature",
+    "SignatureService",
+    "SignedMessage",
+    "ThresholdSignature",
+    "ThresholdSigner",
+    "digest",
+]

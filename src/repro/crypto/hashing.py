@@ -1,0 +1,37 @@
+"""Collision-resistant digests.
+
+The protocol sends the digest ``Δ = H(m)`` of a client request in PREPREPARE
+messages and refers to the request by digest in later phases to save space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialise a value deterministically for hashing and signing.
+
+    Dictionaries are serialised with sorted keys, dataclass-like objects may
+    pre-serialise themselves via a ``canonical()`` method, and anything else
+    falls back to ``repr`` — which is stable for the simple value types used
+    in protocol messages.
+    """
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    canonical = getattr(value, "canonical", None)
+    if callable(canonical):
+        return canonical_bytes(canonical())
+    try:
+        return json.dumps(value, sort_keys=True, default=repr).encode("utf-8")
+    except (TypeError, ValueError):
+        return repr(value).encode("utf-8")
+
+
+def digest(value: Any) -> str:
+    """Return the hex SHA-256 digest of ``value`` (the paper's ``H(·)``)."""
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()

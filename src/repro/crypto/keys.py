@@ -1,0 +1,91 @@
+"""Key management.
+
+Each component (client, shim node, executor, verifier) owns a key pair.  The
+public key is world-readable; the private key never leaves the
+:class:`KeyStore`, which is how the simulation enforces the paper's
+assumption that "byzantine components can neither impersonate honest
+components, nor subvert cryptographic constructs".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated asymmetric key pair.
+
+    The private key is a random-looking secret derived from the identity and
+    a deployment seed; the public key is a one-way commitment to it.  This is
+    obviously not a real cryptosystem — it only has to be unforgeable *within
+    the simulation*, where the only way to produce a signature is via
+    :class:`repro.crypto.signatures.SignatureService`, which requires the
+    private key held by the key store.
+    """
+
+    owner: str
+    public_key: str
+    private_key: str
+
+
+def generate_keypair(owner: str, deployment_secret: str) -> KeyPair:
+    """Deterministically generate the key pair of ``owner``."""
+    private = hmac.new(
+        deployment_secret.encode("utf-8"), f"priv:{owner}".encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+    public = hashlib.sha256(f"pub:{private}".encode("utf-8")).hexdigest()
+    return KeyPair(owner=owner, public_key=public, private_key=private)
+
+
+class KeyStore:
+    """Registry of key pairs and pairwise MAC secrets for one deployment."""
+
+    def __init__(self, deployment_secret: str = "serverless-bft") -> None:
+        self._deployment_secret = deployment_secret
+        self._keypairs: Dict[str, KeyPair] = {}
+
+    def create_identity(self, owner: str) -> KeyPair:
+        """Create (or return the existing) key pair for ``owner``."""
+        if owner not in self._keypairs:
+            self._keypairs[owner] = generate_keypair(owner, self._deployment_secret)
+        return self._keypairs[owner]
+
+    def has_identity(self, owner: str) -> bool:
+        return owner in self._keypairs
+
+    def public_key(self, owner: str) -> str:
+        try:
+            return self._keypairs[owner].public_key
+        except KeyError:
+            raise CryptoError(f"no public key registered for {owner!r}")
+
+    def private_key(self, owner: str) -> str:
+        """Return the private key of ``owner``.
+
+        Only the owner's own :class:`SignatureService` should call this; the
+        simulation's byzantine behaviours never do, which models the
+        unforgeability assumption.
+        """
+        try:
+            return self._keypairs[owner].private_key
+        except KeyError:
+            raise CryptoError(f"no private key registered for {owner!r}")
+
+    def mac_secret(self, party_a: str, party_b: str) -> str:
+        """Shared pairwise MAC secret (models the Diffie–Hellman exchange)."""
+        first, second = sorted((party_a, party_b))
+        return hmac.new(
+            self._deployment_secret.encode("utf-8"),
+            f"mac:{first}:{second}".encode("utf-8"),
+            hashlib.sha256,
+        ).hexdigest()
+
+    def identities(self) -> Dict[str, str]:
+        """Mapping of owner → public key for every registered identity."""
+        return {owner: pair.public_key for owner, pair in self._keypairs.items()}

@@ -1,0 +1,80 @@
+"""Threshold signatures.
+
+The paper notes (Section IV-C, Remark) that the commit certificate carried in
+EXECUTE messages — ``2f_R + 1`` individual COMMIT signatures — can be
+compressed into a single constant-size threshold signature, as done by linear
+BFT protocols such as SBFT and PoE.  This module provides that primitive so
+the certificate-size ablation is expressible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable
+
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import Signature
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """An aggregate proof that ``threshold`` distinct signers signed a digest."""
+
+    message_digest: str
+    threshold: int
+    signers: FrozenSet[str]
+    value: str
+
+    @property
+    def size_bytes(self) -> int:
+        """Constant wire size regardless of how many shares were aggregated."""
+        return 96
+
+
+class ThresholdSigner:
+    """Aggregates individual signature shares into a threshold signature."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise CryptoError("threshold must be positive")
+        self._threshold = threshold
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def aggregate(self, signatures: Iterable[Signature]) -> ThresholdSignature:
+        """Combine at least ``threshold`` shares over the same digest."""
+        shares = list(signatures)
+        if not shares:
+            raise CryptoError("cannot aggregate an empty set of signature shares")
+        message_digest = shares[0].message_digest
+        signers: Dict[str, Signature] = {}
+        for share in shares:
+            if share.message_digest != message_digest:
+                raise CryptoError("signature shares cover different digests")
+            signers[share.signer] = share
+        if len(signers) < self._threshold:
+            raise CryptoError(
+                f"need {self._threshold} distinct shares, got {len(signers)}"
+            )
+        material = "|".join(
+            f"{signer}:{signers[signer].value}" for signer in sorted(signers)
+        )
+        value = hashlib.sha256(f"{message_digest}|{material}".encode("utf-8")).hexdigest()
+        return ThresholdSignature(
+            message_digest=message_digest,
+            threshold=self._threshold,
+            signers=frozenset(signers),
+            value=value,
+        )
+
+    def verify(self, payload, aggregate: ThresholdSignature) -> bool:
+        """Check that the aggregate covers ``payload`` and enough signers."""
+        if aggregate.threshold != self._threshold:
+            return False
+        if len(aggregate.signers) < self._threshold:
+            return False
+        return digest(payload) == aggregate.message_digest

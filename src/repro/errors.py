@@ -1,0 +1,33 @@
+"""Exception hierarchy shared by every subsystem of the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic check failed (bad signature, MAC, or digest)."""
+
+
+class ProtocolViolation(ReproError):
+    """A component observed a message that violates the protocol."""
+
+
+class StorageError(ReproError):
+    """The on-premise data store was accessed incorrectly."""
+
+
+class CloudError(ReproError):
+    """The serverless cloud rejected a request (limits, unknown region)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured or used incorrectly."""

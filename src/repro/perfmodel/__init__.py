@@ -1,0 +1,20 @@
+"""Analytical performance model.
+
+The paper's evaluation sweeps parameters (up to 88 k clients, 128 shim
+nodes, 8 k-transaction batches) that are far beyond what a message-level
+Python discrete-event simulation can cover in reasonable time.  This package
+provides a closed-form pipeline/queueing model of the same deployment —
+using the *same* cost constants as the simulator — so the full sweeps of
+Figures 5–8 can be regenerated quickly, and a calibration helper that checks
+the model against the simulator on small configurations.
+"""
+
+from repro.perfmodel.model import AnalyticalModel, PipelineBreakdown, SystemKind
+from repro.perfmodel.calibration import calibration_ratio
+
+__all__ = [
+    "AnalyticalModel",
+    "PipelineBreakdown",
+    "SystemKind",
+    "calibration_ratio",
+]

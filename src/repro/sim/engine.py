@@ -1,0 +1,160 @@
+"""Event-driven simulation kernel.
+
+The kernel is intentionally small: a priority queue of timestamped events,
+a virtual clock, and helpers for timers.  Every component of the
+serverless-edge architecture (clients, shim nodes, executors, verifier,
+cloud control plane) is driven exclusively by callbacks scheduled here, so
+a run is fully deterministic given the same seeds and configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``; ``seq`` is a strictly
+    increasing tie-breaker so events scheduled earlier run earlier when
+    timestamps collide, keeping runs deterministic.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, cb={name}, cancelled={self.cancelled})"
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Virtual time is measured in seconds.  The simulator never looks at the
+    wall clock; benchmark throughput/latency numbers are derived purely
+    from virtual time plus the calibrated cost model.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before the current time t={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next non-cancelled event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                executed += 1
+                event.callback(*event.args)
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        """Run until no events remain (or ``max_events`` were executed)."""
+        return self.run(until=None, max_events=max_events)

@@ -1,0 +1,203 @@
+"""Wide-area network model.
+
+Messages between components travel over a simulated network with:
+
+* propagation latency taken from a per-region round-trip table
+  (``repro.cloud.regions``) or any other :class:`LatencyModel`;
+* serialisation delay proportional to the message size (the paper reports
+  exact message sizes: PREPREPARE 5392 B, PREPARE 216 B, COMMIT 220 B,
+  EXECUTE 3320 B, RESPONSE 2270 B);
+* optional fault injection — drops, duplicates, extra delay, and partitions —
+  used by the byzantine-attack tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRNG
+
+
+class LatencyModel:
+    """Interface for one-way latency between two endpoints."""
+
+    def one_way_delay(
+        self,
+        src_region: str,
+        dst_region: str,
+        size_bytes: int,
+        rng: DeterministicRNG,
+    ) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class UniformLatencyModel(LatencyModel):
+    """Flat latency model: a base delay plus jitter plus bandwidth delay.
+
+    Useful for unit tests and for single-region deployments where all
+    components sit in the same data centre.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 0.0005,
+        jitter: float = 0.0001,
+        bandwidth_bytes_per_sec: float = 1.25e9,
+    ) -> None:
+        self.base_delay = base_delay
+        self.jitter = jitter
+        self.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec
+
+    def one_way_delay(
+        self,
+        src_region: str,
+        dst_region: str,
+        size_bytes: int,
+        rng: DeterministicRNG,
+    ) -> float:
+        delay = self.base_delay
+        if self.jitter > 0:
+            delay += rng.uniform(0.0, self.jitter)
+        if self.bandwidth_bytes_per_sec > 0 and size_bytes > 0:
+            delay += size_bytes / self.bandwidth_bytes_per_sec
+        return delay
+
+
+@dataclass
+class NetworkFaultPlan:
+    """Describes network-level faults to inject.
+
+    ``drop_probability`` / ``duplicate_probability`` apply to every message;
+    ``extra_delay`` adds a fixed delay; ``partitions`` is a set of directed
+    ``(src, dst)`` endpoint-name pairs whose messages are silently dropped,
+    and ``muted_endpoints`` silences a sender entirely (crash emulation).
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    extra_delay: float = 0.0
+    partitions: Set[Tuple[str, str]] = field(default_factory=set)
+    muted_endpoints: Set[str] = field(default_factory=set)
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.partitions or src in self.muted_endpoints
+
+    def partition(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        self.partitions.add((src, dst))
+        if bidirectional:
+            self.partitions.add((dst, src))
+
+    def heal(self) -> None:
+        """Remove all partitions and muted endpoints."""
+        self.partitions.clear()
+        self.muted_endpoints.clear()
+
+
+@dataclass
+class Endpoint:
+    """A network-attached component."""
+
+    name: str
+    region: str
+    handler: Callable[[Any, str], None]
+
+
+class Network:
+    """Message transport between simulated endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: LatencyModel,
+        rng: DeterministicRNG,
+        fault_plan: Optional[NetworkFaultPlan] = None,
+    ) -> None:
+        self._sim = sim
+        self._latency = latency_model
+        self._rng = rng
+        self._faults = fault_plan or NetworkFaultPlan()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._messages_dropped = 0
+        self._bytes_sent = 0
+
+    @property
+    def fault_plan(self) -> NetworkFaultPlan:
+        return self._faults
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._messages_dropped
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent
+
+    def register(self, name: str, region: str, handler: Callable[[Any, str], None]) -> Endpoint:
+        """Attach an endpoint.  Re-registering a name replaces its handler."""
+        endpoint = Endpoint(name=name, region=region, handler=handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def region_of(self, name: str) -> str:
+        try:
+            return self._endpoints[name].region
+        except KeyError:
+            raise SimulationError(f"unknown network endpoint {name!r}")
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 0) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` applying the fault plan."""
+        if src not in self._endpoints:
+            raise SimulationError(f"unknown sender endpoint {src!r}")
+        self._messages_sent += 1
+        self._bytes_sent += size_bytes
+        if dst not in self._endpoints:
+            # The destination crashed or was never registered: the message is lost.
+            self._messages_dropped += 1
+            return
+        if self._faults.is_partitioned(src, dst) or self._rng.chance(self._faults.drop_probability):
+            self._messages_dropped += 1
+            return
+        delay = self._latency.one_way_delay(
+            self._endpoints[src].region,
+            self._endpoints[dst].region,
+            size_bytes,
+            self._rng,
+        )
+        delay += self._faults.extra_delay
+        self._sim.schedule(delay, self._deliver, src, dst, payload)
+        if self._rng.chance(self._faults.duplicate_probability):
+            self._sim.schedule(delay * 1.5, self._deliver, src, dst, payload)
+
+    def broadcast(self, src: str, dsts, payload: Any, size_bytes: int = 0) -> None:
+        """Send the same payload to every destination in ``dsts``."""
+        for dst in dsts:
+            if dst == src:
+                continue
+            self.send(src, dst, payload, size_bytes)
+
+    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            self._messages_dropped += 1
+            return
+        self._messages_delivered += 1
+        endpoint.handler(payload, src)

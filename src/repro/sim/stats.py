@@ -1,0 +1,140 @@
+"""Latency and throughput bookkeeping.
+
+The paper reports average throughput (txn/s) over a measured window and the
+average client-observed latency.  These recorders mirror that methodology:
+a warm-up window is excluded, and percentiles are available for deeper
+analysis than the paper's averages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    value = sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+    # Clamp against the neighbouring samples so floating-point interpolation
+    # can never step outside the observed range.
+    return min(max(value, sorted_values[low]), sorted_values[high])
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of a latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+
+class LatencyRecorder:
+    """Records per-transaction latency samples."""
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self._warmup = warmup
+        self._samples: List[float] = []
+
+    @property
+    def warmup(self) -> float:
+        return self._warmup
+
+    def record(self, start_time: float, end_time: float) -> None:
+        """Record a completed transaction if it started after the warm-up."""
+        if start_time < self._warmup:
+            return
+        self._samples.append(max(0.0, end_time - start_time))
+
+    def record_value(self, latency: float) -> None:
+        self._samples.append(max(0.0, latency))
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def summary(self) -> LatencySummary:
+        if not self._samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(self._samples)
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+
+class ThroughputRecorder:
+    """Counts completed transactions inside the measurement window."""
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self._warmup = warmup
+        self._completed = 0
+        self._aborted = 0
+        self._first_completion: Optional[float] = None
+        self._last_completion: Optional[float] = None
+        self._per_second: Dict[int, int] = {}
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def aborted(self) -> int:
+        return self._aborted
+
+    def record_commit(self, time: float, count: int = 1) -> None:
+        if time < self._warmup:
+            return
+        self._completed += count
+        if self._first_completion is None:
+            self._first_completion = time
+        self._last_completion = time
+        bucket = int(time)
+        self._per_second[bucket] = self._per_second.get(bucket, 0) + count
+
+    def record_abort(self, time: float, count: int = 1) -> None:
+        if time < self._warmup:
+            return
+        self._aborted += count
+
+    def throughput(self, duration: Optional[float] = None) -> float:
+        """Average committed transactions per second over the window."""
+        if self._completed == 0:
+            return 0.0
+        if duration is not None and duration > 0:
+            return self._completed / duration
+        if self._first_completion is None or self._last_completion is None:
+            return 0.0
+        window = self._last_completion - self._first_completion
+        if window <= 0:
+            return float(self._completed)
+        return self._completed / window
+
+    def per_second_series(self) -> Dict[int, int]:
+        """Committed transactions bucketed by whole virtual seconds."""
+        return dict(self._per_second)
+
+    def abort_rate(self) -> float:
+        total = self._completed + self._aborted
+        if total == 0:
+            return 0.0
+        return self._aborted / total

@@ -1,0 +1,66 @@
+"""Structured event tracing for simulations.
+
+The tracer records protocol milestones (consensus started, request committed,
+executors spawned, transaction verified, attack detected, view change, …)
+with their virtual timestamps.  Tests and examples use the trace to assert
+protocol-level properties without poking at component internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded milestone."""
+
+    time: float
+    category: str
+    actor: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records during a simulation run."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self._enabled = enabled
+        self._capacity = capacity
+        self._events: List[TraceEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def record(self, time: float, category: str, actor: str, **details: Any) -> None:
+        if not self._enabled:
+            return
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            return
+        self._events.append(TraceEvent(time=time, category=category, actor=actor, details=details))
+
+    def events(self, category: Optional[str] = None, actor: Optional[str] = None) -> List[TraceEvent]:
+        """Return recorded events, optionally filtered by category and actor."""
+        result = self._events
+        if category is not None:
+            result = [event for event in result if event.category == category]
+        if actor is not None:
+            result = [event for event in result if event.actor == actor]
+        return list(result)
+
+    def count(self, category: str) -> int:
+        return sum(1 for event in self._events if event.category == category)
+
+    def last(self, category: str) -> Optional[TraceEvent]:
+        for event in reversed(self._events):
+            if event.category == category:
+                return event
+        return None
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,104 @@
+"""Versioned key-value store (the on-premise data store ``S``).
+
+Every key carries a monotonically increasing version.  Executors attach the
+versions they read to their VERIFY messages; the verifier re-reads the same
+keys and only applies the writes if the versions still match (the paper's
+"read sets match" concurrency-control check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A value together with the version at which it was last written."""
+
+    value: str
+    version: int
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """The outcome of reading a set of keys at one point in time."""
+
+    values: Dict[str, VersionedValue] = field(default_factory=dict)
+
+    def versions(self) -> Dict[str, int]:
+        return {key: entry.version for key, entry in self.values.items()}
+
+    def matches_versions(self, other_versions: Mapping[str, int]) -> bool:
+        """True if every key we read has the same version as in ``other_versions``."""
+        for key, entry in self.values.items():
+            if other_versions.get(key) != entry.version:
+                return False
+        return True
+
+
+class VersionedKVStore:
+    """A simple in-memory versioned key-value store.
+
+    Missing keys read as ``VersionedValue("", 0)`` so that workloads touching
+    keys that were never loaded still behave deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, VersionedValue] = {}
+        self._reads = 0
+        self._writes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def read_count(self) -> int:
+        return self._reads
+
+    @property
+    def write_count(self) -> int:
+        return self._writes
+
+    def load(self, num_records: int, key_prefix: str = "user", value: str = "x" * 100) -> None:
+        """Bulk-load the initial YCSB table (600 k records in the paper)."""
+        if num_records < 0:
+            raise StorageError("cannot load a negative number of records")
+        for index in range(num_records):
+            self._data[f"{key_prefix}{index}"] = VersionedValue(value=value, version=1)
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def read(self, key: str) -> VersionedValue:
+        self._reads += 1
+        return self._data.get(key, VersionedValue(value="", version=0))
+
+    def read_many(self, keys: Iterable[str]) -> ReadResult:
+        return ReadResult(values={key: self.read(key) for key in keys})
+
+    def current_versions(self, keys: Iterable[str]) -> Dict[str, int]:
+        return {key: self._data.get(key, VersionedValue("", 0)).version for key in keys}
+
+    def apply_writes(self, writes: Mapping[str, str]) -> Dict[str, int]:
+        """Apply a write set atomically, bumping each key's version.
+
+        Returns the new version of every written key.
+        """
+        new_versions: Dict[str, int] = {}
+        for key, value in writes.items():
+            current = self._data.get(key, VersionedValue("", 0))
+            updated = VersionedValue(value=value, version=current.version + 1)
+            self._data[key] = updated
+            new_versions[key] = updated.version
+            self._writes += 1
+        return new_versions
+
+    def get_value(self, key: str) -> Optional[str]:
+        entry = self._data.get(key)
+        return entry.value if entry is not None else None
+
+    def keys(self) -> List[str]:
+        return list(self._data.keys())

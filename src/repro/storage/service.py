@@ -1,0 +1,78 @@
+"""Network-facing read service of the on-premise storage.
+
+Executors (Lines 17–18 of the paper's Figure 3) fetch the current state of a
+transaction's read-write set over the network before executing.  The storage
+service answers those read requests; it never accepts writes over the
+network — only the co-located verifier can update the store, via direct
+method calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.storage.kvstore import ReadResult, VersionedKVStore
+
+
+@dataclass(frozen=True)
+class StorageReadRequest:
+    """A request to read the current state of a set of keys."""
+
+    request_id: str
+    keys: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class StorageReadReply:
+    """The storage's reply carrying values and versions."""
+
+    request_id: str
+    result: ReadResult
+
+
+class StorageService(SimProcess):
+    """The storage endpoint reachable by executors for read-only access."""
+
+    #: Approximate wire size of a read request/reply per key, in bytes.
+    REQUEST_BYTES_PER_KEY = 64
+    REPLY_BYTES_PER_KEY = 160
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        store: VersionedKVStore,
+        name: str = "storage",
+        region: str = "us-west-1",
+        read_service_time: float = 20e-6,
+    ) -> None:
+        super().__init__(sim, name, region, cores=None)
+        self._network = network
+        self._store = store
+        self._read_service_time = read_service_time
+        self._requests_served = 0
+        network.register(name, region, self.on_message)
+
+    @property
+    def store(self) -> VersionedKVStore:
+        return self._store
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served
+
+    def on_message(self, message, sender: str) -> None:
+        if isinstance(message, StorageReadRequest):
+            self._requests_served += 1
+            # The read itself is cheap; model it as a small fixed service delay.
+            self.set_timer(self._read_service_time, self._reply, message, sender)
+
+    def _reply(self, request: StorageReadRequest, sender: str) -> None:
+        result = self._store.read_many(request.keys)
+        reply = StorageReadReply(request_id=request.request_id, result=result)
+        size = self.REPLY_BYTES_PER_KEY * max(1, len(request.keys))
+        self._network.send(self.name, sender, reply, size_bytes=size)

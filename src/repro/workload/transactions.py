@@ -1,0 +1,220 @@
+"""Transaction model.
+
+A transaction is an ordered list of read and write operations over the
+on-premise key-value store plus an optional compute phase (the "execution
+length" knob of Figure 6 v/vi and Figure 8).  Executors execute transactions
+deterministically, so two honest executors always produce identical results
+for the same transaction over the same storage state — the property the
+verifier's ``f_E + 1`` matching-results quorum relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One read or write of a single key."""
+
+    key: str
+    is_write: bool
+    value: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.is_write and self.value is None:
+            object.__setattr__(self, "value", "")
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client transaction ``T``.
+
+    ``execution_seconds`` is the synthetic compute time of the transaction's
+    expensive phase; ``rw_sets_known`` says whether the shim can see the
+    read-write sets before execution (Section VI-C vs VI-B).  ``origin`` and
+    ``request_id`` identify the client endpoint awaiting the RESPONSE and the
+    client-side request this transaction belongs to.
+    """
+
+    txn_id: str
+    client_id: str
+    operations: Tuple[Operation, ...]
+    execution_seconds: float = 0.0
+    rw_sets_known: bool = True
+    origin: str = ""
+    request_id: str = ""
+
+    @property
+    def read_set(self) -> FrozenSet[str]:
+        return frozenset(op.key for op in self.operations if not op.is_write)
+
+    @property
+    def write_set(self) -> FrozenSet[str]:
+        return frozenset(op.key for op in self.operations if op.is_write)
+
+    @property
+    def keys(self) -> FrozenSet[str]:
+        return self.read_set | self.write_set
+
+    def canonical(self) -> str:
+        ops = ";".join(
+            f"{'W' if op.is_write else 'R'}:{op.key}:{op.value or ''}" for op in self.operations
+        )
+        return f"txn:{self.txn_id}:{self.client_id}:{ops}:{self.execution_seconds}"
+
+
+def transactions_conflict(first: Transaction, second: Transaction) -> bool:
+    """Two transactions conflict if they share a key and at least one writes it."""
+    if first.write_set & second.keys:
+        return True
+    if second.write_set & first.keys:
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class TransactionBatch:
+    """A batch of client transactions ordered together by the shim.
+
+    The paper batches 100 client transactions per consensus by default.
+    """
+
+    batch_id: str
+    transactions: Tuple[Transaction, ...]
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def read_set(self) -> FrozenSet[str]:
+        keys: set = set()
+        for txn in self.transactions:
+            keys |= txn.read_set
+        return frozenset(keys)
+
+    @property
+    def write_set(self) -> FrozenSet[str]:
+        keys: set = set()
+        for txn in self.transactions:
+            keys |= txn.write_set
+        return frozenset(keys)
+
+    @property
+    def keys(self) -> FrozenSet[str]:
+        return self.read_set | self.write_set
+
+    @property
+    def execution_seconds(self) -> float:
+        """Synthetic compute time of the batch's expensive phase.
+
+        The paper's "execution length" knob models one compute-intensive task
+        (e.g. an ML inference over the batched sensor data) per invocation,
+        so the batch-level cost is the largest per-transaction requirement,
+        not the sum.
+        """
+        if not self.transactions:
+            return 0.0
+        return max(txn.execution_seconds for txn in self.transactions)
+
+    @property
+    def rw_sets_known(self) -> bool:
+        return all(txn.rw_sets_known for txn in self.transactions)
+
+    def conflicts_with(self, other: "TransactionBatch") -> bool:
+        if self.write_set & other.keys:
+            return True
+        if other.write_set & self.keys:
+            return True
+        return False
+
+    def canonical(self) -> str:
+        return f"batch:{self.batch_id}:" + "|".join(txn.canonical() for txn in self.transactions)
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """The deterministic result of executing one transaction."""
+
+    txn_id: str
+    writes: Dict[str, str] = field(default_factory=dict)
+    read_versions: Dict[str, int] = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        writes = ";".join(f"{k}={v}" for k, v in sorted(self.writes.items()))
+        reads = ";".join(f"{k}@{v}" for k, v in sorted(self.read_versions.items()))
+        return f"txnresult:{self.txn_id}:{writes}:{reads}"
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """The deterministic result of executing a batch against a storage snapshot.
+
+    Per-transaction read versions are recorded so the verifier can run its
+    concurrency-control check transaction by transaction and abort only the
+    transactions whose reads went stale (Section IV-D and VI-B).
+    """
+
+    batch_id: str
+    result_digest: str
+    txn_results: Tuple[TransactionResult, ...] = ()
+
+    def canonical(self) -> str:
+        body = "|".join(result.canonical() for result in self.txn_results)
+        return f"result:{self.batch_id}:{self.result_digest}:{body}"
+
+    def result_for(self, txn_id: str) -> Optional[TransactionResult]:
+        for result in self.txn_results:
+            if result.txn_id == txn_id:
+                return result
+        return None
+
+
+def execute_batch(
+    batch: TransactionBatch,
+    read_values: Mapping[str, str],
+    read_versions: Mapping[str, int],
+) -> ExecutionResult:
+    """Deterministically execute a batch given the values it read.
+
+    Writes derive from the transaction id and the values read, so any two
+    honest executors that observed the same storage state produce identical
+    :class:`ExecutionResult` objects (and byzantine executors that fabricate
+    results will not match them).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(batch.batch_id.encode("utf-8"))
+    txn_results: List[TransactionResult] = []
+    for txn in batch.transactions:
+        writes: Dict[str, str] = {}
+        for op in txn.operations:
+            current = read_values.get(op.key, "")
+            hasher.update(f"{op.key}={current}".encode("utf-8"))
+            if op.is_write:
+                new_value = f"{op.value}:{txn.txn_id}"
+                writes[op.key] = new_value
+                hasher.update(new_value.encode("utf-8"))
+        observed_versions = {key: read_versions.get(key, 0) for key in txn.keys}
+        # The digest covers the observed versions too: VERIFY messages only
+        # "match" (Figure 3, Line 23) when the executors saw the same storage
+        # state, which is what the verifier's concurrency check relies on.
+        for key in sorted(observed_versions):
+            hasher.update(f"{key}@{observed_versions[key]}".encode("utf-8"))
+        txn_results.append(
+            TransactionResult(txn_id=txn.txn_id, writes=writes, read_versions=observed_versions)
+        )
+    return ExecutionResult(
+        batch_id=batch.batch_id,
+        result_digest=hasher.hexdigest(),
+        txn_results=tuple(txn_results),
+    )
+
+
+def merge_batches(batches: Iterable[TransactionBatch], batch_id: str) -> TransactionBatch:
+    """Concatenate several batches into one (used by re-batching utilities)."""
+    transactions: List[Transaction] = []
+    for batch in batches:
+        transactions.extend(batch.transactions)
+    return TransactionBatch(batch_id=batch_id, transactions=tuple(transactions))

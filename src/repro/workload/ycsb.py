@@ -1,0 +1,155 @@
+"""YCSB-style workload generator.
+
+Mirrors the paper's benchmark setup (Section IX): key-value transactions
+over a 600 k-record table, each transaction performing a small number of
+read and write operations, with
+
+* a configurable read/write mix,
+* zipfian or uniform key selection,
+* a controllable percentage of *conflicting* transactions (Figure 6 xi/xii)
+  — conflicting transactions write a small hot set of keys shared by all
+  clients, non-conflicting ones touch per-client key partitions so they can
+  never overlap,
+* an optional synthetic compute phase per transaction ("execution length",
+  Figures 6 v/vi and 8), and
+* batching of client transactions (Figure 6 iii/iv).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.rng import DeterministicRNG
+from repro.workload.transactions import Operation, Transaction, TransactionBatch
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """Parameters of the YCSB-style workload."""
+
+    num_records: int = 600_000
+    operations_per_transaction: int = 4
+    write_fraction: float = 0.5
+    zipfian_theta: float = 0.0
+    conflict_fraction: float = 0.0
+    hot_keys: int = 16
+    clients: int = 16
+    execution_seconds: float = 0.0
+    rw_sets_known: bool = True
+    value_size_bytes: int = 100
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if self.num_records <= 0:
+            raise WorkloadError("num_records must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise WorkloadError("write_fraction must be within [0, 1]")
+        if not 0.0 <= self.conflict_fraction <= 1.0:
+            raise WorkloadError("conflict_fraction must be within [0, 1]")
+        if self.operations_per_transaction <= 0:
+            raise WorkloadError("operations_per_transaction must be positive")
+        if self.clients <= 0:
+            raise WorkloadError("clients must be positive")
+        if self.hot_keys <= 0:
+            raise WorkloadError("hot_keys must be positive")
+
+
+class YCSBWorkload:
+    """Deterministic transaction/batch generator for one experiment run."""
+
+    def __init__(self, config: YCSBConfig) -> None:
+        self._config = config
+        self._rng = DeterministicRNG(config.seed).child("ycsb")
+        self._txn_counter = itertools.count()
+        self._batch_counter = itertools.count()
+        # Per-client private key ranges guarantee non-conflicting transactions
+        # from different clients never touch the same key.
+        self._partition_size = max(1, config.num_records // config.clients)
+
+    @property
+    def config(self) -> YCSBConfig:
+        return self._config
+
+    def initial_value(self) -> str:
+        return "v" * self._config.value_size_bytes
+
+    # ------------------------------------------------------------- transactions
+
+    def next_transaction(self, client_index: Optional[int] = None) -> Transaction:
+        """Generate the next transaction, optionally pinned to a client."""
+        config = self._config
+        if client_index is None:
+            client_index = self._rng.randint(0, config.clients - 1)
+        client_id = f"client-{client_index}"
+        txn_id = f"txn-{next(self._txn_counter)}"
+        conflicting = self._rng.chance(config.conflict_fraction)
+        operations = self._build_operations(client_index, conflicting)
+        return Transaction(
+            txn_id=txn_id,
+            client_id=client_id,
+            operations=tuple(operations),
+            execution_seconds=config.execution_seconds,
+            rw_sets_known=config.rw_sets_known,
+        )
+
+    def transactions(self, count: int, client_index: Optional[int] = None) -> List[Transaction]:
+        return [self.next_transaction(client_index) for _ in range(count)]
+
+    def transaction_stream(self) -> Iterator[Transaction]:
+        while True:
+            yield self.next_transaction()
+
+    # ------------------------------------------------------------------ batches
+
+    def next_batch(self, batch_size: int) -> TransactionBatch:
+        """Generate a batch of ``batch_size`` transactions (paper default 100)."""
+        if batch_size <= 0:
+            raise WorkloadError("batch_size must be positive")
+        batch_id = f"batch-{next(self._batch_counter)}"
+        return TransactionBatch(
+            batch_id=batch_id,
+            transactions=tuple(self.next_transaction() for _ in range(batch_size)),
+        )
+
+    def batches(self, count: int, batch_size: int) -> List[TransactionBatch]:
+        return [self.next_batch(batch_size) for _ in range(count)]
+
+    # ---------------------------------------------------------------- internals
+
+    def _build_operations(self, client_index: int, conflicting: bool) -> List[Operation]:
+        config = self._config
+        operations: List[Operation] = []
+        writes_target = round(config.operations_per_transaction * config.write_fraction)
+        for op_index in range(config.operations_per_transaction):
+            is_write = op_index < writes_target
+            if conflicting and op_index == 0:
+                # Conflicting transactions contend on the shared hot set, and the
+                # contended operation is always a write so any two of them conflict.
+                key = self._hot_key()
+                is_write = True
+            else:
+                key = self._private_key(client_index)
+            value = self._rng_value() if is_write else None
+            operations.append(Operation(key=key, is_write=is_write, value=value))
+        return operations
+
+    def _hot_key(self) -> str:
+        index = self._rng.randint(0, self._config.hot_keys - 1)
+        return f"user{index}"
+
+    def _private_key(self, client_index: int) -> str:
+        config = self._config
+        start = (client_index * self._partition_size) % config.num_records
+        if config.zipfian_theta > 0:
+            offset = self._rng.zipf_index(self._partition_size, config.zipfian_theta)
+        else:
+            offset = self._rng.randint(0, self._partition_size - 1)
+        # Skip the hot range so private keys never collide with hot keys.
+        index = config.hot_keys + (start + offset) % max(1, config.num_records - config.hot_keys)
+        return f"user{index}"
+
+    def _rng_value(self) -> str:
+        return f"val-{self._rng.randint(0, 10**9)}"

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_config, make_workload
+from repro.core.config import ProtocolConfig
+from repro.workload.ycsb import YCSBConfig
+
+
+@pytest.fixture
+def small_config() -> ProtocolConfig:
+    return make_config()
+
+
+@pytest.fixture
+def small_workload() -> YCSBConfig:
+    return make_workload()

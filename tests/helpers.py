@@ -1,0 +1,43 @@
+"""Factories shared by the integration tests."""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.core.runner import ServerlessBFTSimulation
+from repro.workload.ycsb import YCSBConfig
+
+
+def make_config(**overrides) -> ProtocolConfig:
+    """A small deployment that simulates quickly in tests."""
+    params = dict(
+        shim_nodes=4,
+        num_executors=3,
+        num_executor_regions=3,
+        batch_size=10,
+        num_clients=40,
+        client_groups=4,
+        storage_records=2_000,
+    )
+    params.update(overrides)
+    return ProtocolConfig(**params)
+
+
+def make_workload(**overrides) -> YCSBConfig:
+    params = dict(num_records=2_000, clients=40, operations_per_transaction=4, write_fraction=0.5)
+    params.update(overrides)
+    return YCSBConfig(**params)
+
+
+def run_simulation(
+    config: ProtocolConfig = None,
+    workload: YCSBConfig = None,
+    duration: float = 2.0,
+    warmup: float = 0.2,
+    **runner_kwargs,
+):
+    """Build, run, and return ``(simulation, result)`` for integration tests."""
+    config = config or make_config()
+    workload = workload or make_workload()
+    simulation = ServerlessBFTSimulation(config, workload=workload, **runner_kwargs)
+    result = simulation.run(duration=duration, warmup=warmup)
+    return simulation, result

@@ -1,0 +1,151 @@
+"""Integration tests for the attacks of Section V/VI and their recovery."""
+
+from tests.helpers import make_config, make_workload, run_simulation
+from repro.faults.byzantine import (
+    CrashBehaviour,
+    DelaySpawningBehaviour,
+    DuplicateSpawningBehaviour,
+    DuplicateVerifyBehaviour,
+    FewerExecutorsBehaviour,
+    RequestIgnoranceBehaviour,
+    SilentExecutorBehaviour,
+    WrongResultBehaviour,
+)
+from repro.faults.injector import PerBatchExecutorFaults
+
+
+def attack_config(**overrides):
+    """Config with aggressive timers so recovery happens within the test run."""
+    params = dict(
+        client_timeout=0.4,
+        node_request_timeout=0.6,
+        retransmission_timeout=0.4,
+        verifier_quorum_timeout=0.4,
+    )
+    params.update(overrides)
+    return make_config(**params)
+
+
+# ------------------------------------------------------------------ request suppression
+
+
+def test_request_ignorance_triggers_view_change_and_progress():
+    simulation, result = run_simulation(
+        config=attack_config(),
+        node_behaviours={"node-0": RequestIgnoranceBehaviour(drop_every=1)},
+        duration=5.0,
+        warmup=0.0,
+    )
+    # The byzantine primary is eventually replaced and clients make progress.
+    assert result.view_changes > 0
+    assert result.committed_txns > 0
+    assert result.client_retransmissions > 0
+    assert result.verifier_errors_sent > 0
+    assert simulation.nodes[1].current_primary != "node-0"
+
+
+def test_fewer_executors_attack_detected_by_verifier():
+    simulation, result = run_simulation(
+        config=attack_config(),
+        node_behaviours={"node-0": FewerExecutorsBehaviour(spawn_at_most=1)},
+        duration=5.0,
+        warmup=0.0,
+    )
+    # The verifier cannot gather f_E+1 matching VERIFYs, blames the primary,
+    # and the shim installs a new view; afterwards transactions flow again.
+    assert result.verifier_replace_sent > 0
+    assert result.view_changes > 0
+    assert result.committed_txns > 0
+
+
+def test_crashed_backup_node_does_not_stop_the_shim():
+    _simulation, result = run_simulation(
+        config=attack_config(),
+        node_behaviours={"node-2": CrashBehaviour()},
+        duration=3.0,
+        warmup=0.0,
+    )
+    assert result.committed_txns > 0
+    assert result.view_changes == 0  # the primary is honest, no replacement needed
+
+
+# ------------------------------------------------------------------ byzantine executors
+
+
+def test_wrong_result_executors_cannot_corrupt_storage():
+    byz_sim, byz_result = run_simulation(
+        duration=2.0,
+        warmup=0.0,
+        executor_behaviour_factory=PerBatchExecutorFaults(
+            count=1, behaviour_factory=WrongResultBehaviour
+        ),
+    )
+    # With f_E byzantine executors the matching quorum still validates the
+    # honest result and the run commits transactions normally.
+    assert byz_result.committed_txns > 0
+    # Safety: the fabricated writes (tagged "byzantine-corrupted") never make
+    # it into the on-premise data store — only the honest quorum's result does.
+    values = [byz_sim.store.read(key).value for key in byz_sim.store.keys()]
+    assert values
+    assert not any("byzantine-corrupted" in value for value in values)
+
+
+def test_silent_executors_tolerated_up_to_f():
+    _simulation, result = run_simulation(
+        duration=2.0,
+        warmup=0.0,
+        executor_behaviour_factory=PerBatchExecutorFaults(
+            count=1, behaviour_factory=SilentExecutorBehaviour
+        ),
+    )
+    assert result.committed_txns > 0
+
+
+def test_verify_flooding_is_ignored_by_the_verifier():
+    _simulation, result = run_simulation(
+        duration=2.0,
+        warmup=0.0,
+        executor_behaviour_factory=PerBatchExecutorFaults(
+            count=1, behaviour_factory=lambda: DuplicateVerifyBehaviour(copies=8)
+        ),
+    )
+    assert result.committed_txns > 0
+    assert result.verifier_ignored_verify > 0
+
+
+# ------------------------------------------------------------------ verifier flooding by nodes
+
+
+def test_duplicate_spawning_costs_the_byzantine_node_money():
+    simulation, result = run_simulation(
+        config=attack_config(),
+        node_behaviours={"node-0": DuplicateSpawningBehaviour(extra_per_batch=2)},
+        duration=2.0,
+        warmup=0.0,
+    )
+    assert result.committed_txns > 0
+    # Flooding is self-penalising: the byzantine spawner pays for every extra
+    # executor it spawned (Section V-C).
+    per_spawner = result.billing.per_spawner_cost
+    assert per_spawner.get("node-0", 0.0) > 0
+    honest_costs = [cost for name, cost in per_spawner.items() if name != "node-0"]
+    assert all(per_spawner["node-0"] >= cost for cost in honest_costs)
+
+
+# ------------------------------------------------------------------ byzantine aborts
+
+
+def test_delayed_spawning_with_decentralized_policy_still_executes():
+    from repro.core.config import SpawnPolicyName
+
+    config = attack_config(spawn_policy=SpawnPolicyName.DECENTRALIZED)
+    _simulation, result = run_simulation(
+        config=config,
+        workload=make_workload(conflict_fraction=0.2, rw_sets_known=False),
+        node_behaviours={"node-0": DelaySpawningBehaviour(delay_seconds=10.0, delay_every=1)},
+        duration=4.0,
+        warmup=0.0,
+    )
+    # Even though the primary delays its own spawns indefinitely, the other
+    # nodes' executors provide the f_E+1 matching results.
+    assert result.committed_txns > 0

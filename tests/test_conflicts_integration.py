@@ -1,0 +1,106 @@
+"""Integration tests for transactional conflicts (Section VI)."""
+
+from tests.helpers import make_config, make_workload, run_simulation
+from repro.core.config import ConflictMode, SpawnPolicyName
+
+
+def conflict_workload(fraction, rw_known=False):
+    return make_workload(
+        conflict_fraction=fraction,
+        rw_sets_known=rw_known,
+        num_records=5_000,
+        hot_keys=8,
+    )
+
+
+def test_conflicting_transactions_cause_aborts_under_optimistic_execution():
+    low_sim, low = run_simulation(
+        workload=conflict_workload(0.0), duration=2.0, warmup=0.0, tracer_enabled=False
+    )
+    high_sim, high = run_simulation(
+        workload=conflict_workload(0.5), duration=2.0, warmup=0.0, tracer_enabled=False
+    )
+    assert high.committed_txns > 0
+    assert high.aborted_txns > low.aborted_txns
+    assert high.abort_rate > low.abort_rate
+
+
+def test_goodput_decreases_with_conflict_rate():
+    _s0, result_0 = run_simulation(
+        workload=conflict_workload(0.0), duration=2.0, warmup=0.2, tracer_enabled=False
+    )
+    _s50, result_50 = run_simulation(
+        workload=conflict_workload(0.5), duration=2.0, warmup=0.2, tracer_enabled=False
+    )
+    assert result_50.committed_txns < result_0.committed_txns
+    # Latency stays in the same ballpark (the paper reports it unchanged).
+    assert result_50.latency.mean < 3.0 * result_0.latency.mean
+
+
+def test_optimistic_mode_uses_3f_plus_1_executors_for_unknown_rw_sets():
+    config = make_config(num_executors=7, conflict_mode=ConflictMode.OPTIMISTIC)
+    assert config.derived_executor_faults == 2
+    assert config.executor_match_quorum == 3
+    simulation, result = run_simulation(
+        config=config, workload=conflict_workload(0.3), duration=1.5, warmup=0.0,
+        tracer_enabled=False,
+    )
+    assert result.committed_txns > 0
+    # Every committed batch spawned 7 executors.
+    assert result.cloud_invocations >= 7 * len(simulation.verifier.validated_sequence_numbers)
+
+
+def test_conflict_avoidance_reduces_aborts():
+    optimistic_config = make_config(conflict_mode=ConflictMode.OPTIMISTIC)
+    avoidance_config = make_config(conflict_mode=ConflictMode.CONFLICT_AVOIDANCE)
+    _so, optimistic = run_simulation(
+        config=optimistic_config,
+        workload=conflict_workload(0.4, rw_known=False),
+        duration=2.0,
+        warmup=0.0,
+        tracer_enabled=False,
+    )
+    _sa, avoidance = run_simulation(
+        config=avoidance_config,
+        workload=conflict_workload(0.4, rw_known=True),
+        duration=2.0,
+        warmup=0.0,
+        tracer_enabled=False,
+    )
+    assert avoidance.committed_txns > 0
+    assert avoidance.abort_rate <= optimistic.abort_rate
+    assert avoidance.abort_rate <= 0.05
+
+
+def test_conflict_avoidance_still_parallelises_non_conflicting_batches():
+    config = make_config(conflict_mode=ConflictMode.CONFLICT_AVOIDANCE)
+    _sim, result = run_simulation(
+        config=config,
+        workload=conflict_workload(0.0, rw_known=True),
+        duration=2.0,
+        warmup=0.2,
+        tracer_enabled=False,
+    )
+    # Without conflicts the lock map never blocks anything, so throughput is
+    # comparable to optimistic execution.
+    _sim2, optimistic = run_simulation(
+        workload=conflict_workload(0.0), duration=2.0, warmup=0.2, tracer_enabled=False
+    )
+    assert result.committed_txns >= 0.6 * optimistic.committed_txns
+
+
+def test_decentralized_spawning_with_conflicts_overspawns_but_commits():
+    config = make_config(
+        spawn_policy=SpawnPolicyName.DECENTRALIZED, conflict_mode=ConflictMode.OPTIMISTIC
+    )
+    simulation, result = run_simulation(
+        config=config,
+        workload=conflict_workload(0.2),
+        duration=2.0,
+        warmup=0.0,
+        tracer_enabled=False,
+    )
+    assert result.committed_txns > 0
+    batches = len(simulation.verifier.validated_sequence_numbers)
+    # e × n_R executors per batch instead of n_E (Equation 1: e = 1, n_R = 4).
+    assert result.cloud_invocations >= batches * config.shim_nodes

@@ -1,0 +1,180 @@
+"""Unit tests for the cryptography substrate."""
+
+import pytest
+
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.hashing import canonical_bytes, digest
+from repro.crypto.keys import KeyStore, generate_keypair
+from repro.crypto.signatures import MacAuthenticator, SignatureService
+from repro.crypto.threshold import ThresholdSigner
+from repro.errors import CryptoError
+
+
+# ------------------------------------------------------------------ hashing
+
+
+def test_digest_is_deterministic_and_collision_free_for_different_inputs():
+    assert digest("hello") == digest("hello")
+    assert digest("hello") != digest("hello!")
+    assert len(digest("x")) == 64
+
+
+def test_digest_of_dict_ignores_key_order():
+    assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+
+def test_canonical_bytes_uses_canonical_method():
+    class Payload:
+        def canonical(self):
+            return "payload-form"
+
+    assert canonical_bytes(Payload()) == b"payload-form"
+    assert digest(Payload()) == digest("payload-form")
+
+
+# ------------------------------------------------------------------ keys
+
+
+def test_keystore_creates_stable_identities():
+    store = KeyStore("secret")
+    first = store.create_identity("node-0")
+    second = store.create_identity("node-0")
+    assert first == second
+    assert store.public_key("node-0") == first.public_key
+
+
+def test_keypairs_differ_per_owner_and_deployment():
+    assert generate_keypair("a", "s1") != generate_keypair("b", "s1")
+    assert generate_keypair("a", "s1") != generate_keypair("a", "s2")
+
+
+def test_unknown_identity_raises():
+    store = KeyStore()
+    with pytest.raises(CryptoError):
+        store.public_key("ghost")
+    with pytest.raises(CryptoError):
+        store.private_key("ghost")
+
+
+def test_mac_secret_is_symmetric():
+    store = KeyStore()
+    assert store.mac_secret("a", "b") == store.mac_secret("b", "a")
+    assert store.mac_secret("a", "b") != store.mac_secret("a", "c")
+
+
+# ------------------------------------------------------------------ signatures
+
+
+def test_sign_and_verify_roundtrip():
+    store = KeyStore()
+    signer = SignatureService(store, "node-0")
+    message = {"seq": 1, "digest": "abc"}
+    signature = signer.sign(message)
+    assert signer.verify(message, signature)
+    other = SignatureService(store, "node-1")
+    assert other.verify(message, signature)  # anyone can verify a DS
+
+
+def test_tampered_payload_fails_verification():
+    store = KeyStore()
+    signer = SignatureService(store, "node-0")
+    signature = signer.sign("original")
+    assert not signer.verify("tampered", signature)
+
+
+def test_forged_signer_fails_verification():
+    store = KeyStore()
+    honest = SignatureService(store, "node-0")
+    byzantine = SignatureService(store, "node-1")
+    forged = byzantine.sign("payload")
+    # Claiming the signature came from node-0 does not make it valid for node-0.
+    from dataclasses import replace
+
+    forged_as_honest = replace(forged, signer="node-0")
+    assert not honest.verify("payload", forged_as_honest)
+
+
+def test_unknown_signer_fails_verification():
+    store = KeyStore()
+    signer = SignatureService(store, "node-0")
+    signature = signer.sign("payload")
+    fresh_store = KeyStore("other-deployment")
+    other = SignatureService(fresh_store, "verifier")
+    assert not other.verify("payload", signature)
+
+
+def test_require_valid_raises_on_bad_signature():
+    store = KeyStore()
+    signer = SignatureService(store, "node-0")
+    message = signer.sign_message("payload")
+    from dataclasses import replace
+
+    bad = replace(message, payload="other-payload")
+    with pytest.raises(CryptoError):
+        signer.require_valid(bad)
+    signer.require_valid(message)
+
+
+def test_mac_roundtrip_and_mismatch():
+    store = KeyStore()
+    alice = MacAuthenticator(store, "alice")
+    bob = MacAuthenticator(store, "bob")
+    tag = alice.tag("ping", peer="bob")
+    assert bob.verify("ping", peer="alice", tag=tag)
+    assert not bob.verify("pong", peer="alice", tag=tag)
+    assert not bob.verify("ping", peer="carol", tag=tag)
+    assert not bob.verify("ping", peer="alice", tag=None)
+
+
+# ------------------------------------------------------------------ threshold signatures
+
+
+def test_threshold_aggregation_and_verification():
+    store = KeyStore()
+    payload = "commit:1:7:digest"
+    shares = [SignatureService(store, f"node-{i}").sign(payload) for i in range(3)]
+    signer = ThresholdSigner(threshold=3)
+    aggregate = signer.aggregate(shares)
+    assert aggregate.size_bytes == 96
+    assert signer.verify(payload, aggregate)
+    assert not signer.verify("other-payload", aggregate)
+
+
+def test_threshold_requires_enough_distinct_shares():
+    store = KeyStore()
+    payload = "commit:1:7:digest"
+    share = SignatureService(store, "node-0").sign(payload)
+    signer = ThresholdSigner(threshold=3)
+    with pytest.raises(CryptoError):
+        signer.aggregate([share, share, share])  # same signer three times
+    with pytest.raises(CryptoError):
+        signer.aggregate([])
+
+
+def test_threshold_rejects_mixed_digests():
+    store = KeyStore()
+    signer = ThresholdSigner(threshold=2)
+    share_a = SignatureService(store, "node-0").sign("payload-a")
+    share_b = SignatureService(store, "node-1").sign("payload-b")
+    with pytest.raises(CryptoError):
+        signer.aggregate([share_a, share_b])
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(CryptoError):
+        ThresholdSigner(0)
+
+
+# ------------------------------------------------------------------ cost model
+
+
+def test_cost_model_ratios_and_scaling():
+    costs = CryptoCostModel()
+    assert costs.ds_verify > costs.mac_verify
+    assert costs.ds_sign > costs.mac_sign
+    assert costs.hash_cost(2048) > costs.hash_cost(100)
+    assert costs.certificate_verify_cost(5) == pytest.approx(5 * costs.ds_verify)
+    assert costs.certificate_verify_cost(5, threshold=True) == pytest.approx(costs.threshold_verify)
+    doubled = costs.scaled(2.0)
+    assert doubled.ds_sign == pytest.approx(2 * costs.ds_sign)
+    assert doubled.mac_verify == pytest.approx(2 * costs.mac_verify)

@@ -1,0 +1,253 @@
+"""Unit tests for the PBFT ordering engine.
+
+The tests wire ``n`` :class:`PBFTReplica` instances together through a small
+in-test transport that routes messages over the discrete-event simulator, so
+the protocol runs exactly as it would inside shim nodes but without the
+serverless machinery.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import pytest
+
+from repro.consensus.messages import PrePrepareMsg
+from repro.consensus.pbft import PBFTConfig, PBFTReplica, ReplicaTransport
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.keys import KeyStore
+from repro.crypto.signatures import SignatureService
+from repro.errors import ProtocolViolation
+from repro.faults.byzantine import NodesInDarkBehaviour, UnsuccessfulConsensusBehaviour
+from repro.sim.engine import Simulator
+
+
+class _Host:
+    """Zero-cost host adapter used by the consensus engine in unit tests."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def process(self, cost, callback):
+        callback()
+
+    def process_parallel(self, cost, parallelism, callback):
+        callback()
+
+    def set_timer(self, delay, callback, *args):
+        return self._sim.schedule(delay, callback, *args)
+
+    @property
+    def now(self):
+        return self._sim.now
+
+
+class _Transport(ReplicaTransport):
+    def __init__(self, cluster: "Cluster", owner: str) -> None:
+        self._cluster = cluster
+        self._owner = owner
+
+    def send(self, dst: str, message, size_bytes: int) -> None:
+        self._cluster.route(self._owner, dst, message)
+
+    def broadcast(self, message, size_bytes: int, targets=None) -> None:
+        recipients = targets if targets is not None else [
+            name for name in self._cluster.names if name != self._owner
+        ]
+        for dst in recipients:
+            self._cluster.route(self._owner, dst, message)
+
+
+class Cluster:
+    """A shim of PBFT replicas connected by an in-memory network."""
+
+    def __init__(self, n: int = 4, request_timeout: float = 1.0, behaviours=None) -> None:
+        self.sim = Simulator()
+        self.keystore = KeyStore()
+        self.names = [f"node-{index}" for index in range(n)]
+        self.committed: Dict[str, List] = {name: [] for name in self.names}
+        self.blocked_links: Set[Tuple[str, str]] = set()
+        behaviours = behaviours or {}
+        self.replicas: Dict[str, PBFTReplica] = {}
+        for name in self.names:
+            self.replicas[name] = PBFTReplica(
+                replica_id=name,
+                replicas=self.names,
+                config=PBFTConfig(request_timeout=request_timeout, checkpoint_interval=1000),
+                transport=_Transport(self, name),
+                signer=SignatureService(self.keystore, name),
+                cost_model=CryptoCostModel(),
+                host=_Host(self.sim),
+                on_committed=lambda entry, name=name: self.committed[name].append(entry),
+                behaviour=behaviours.get(name),
+            )
+
+    def route(self, src: str, dst: str, message) -> None:
+        if (src, dst) in self.blocked_links:
+            return
+        self.sim.schedule(0.001, self.replicas[dst].handle, message, src)
+
+    def block(self, src: str, dst: str) -> None:
+        self.blocked_links.add((src, dst))
+
+    def primary(self) -> PBFTReplica:
+        return self.replicas[self.names[0]]
+
+    def run(self, until: float = 0.5) -> None:
+        self.sim.run(until=until)
+
+
+def test_single_batch_commits_on_all_replicas():
+    cluster = Cluster()
+    cluster.primary().propose("batch-1")
+    cluster.run()
+    for name in cluster.names:
+        assert len(cluster.committed[name]) == 1
+        entry = cluster.committed[name][0]
+        assert entry.seq == 1
+        assert entry.batch == "batch-1"
+
+
+def test_commit_certificate_has_quorum_of_valid_signatures():
+    cluster = Cluster()
+    cluster.primary().propose("batch-1")
+    cluster.run()
+    entry = cluster.committed["node-1"][0]
+    assert len(entry.certificate) >= cluster.primary().quorum_size
+    signers = {signature.signer for signature in entry.certificate}
+    assert len(signers) >= cluster.primary().quorum_size
+
+
+def test_multiple_batches_commit_in_the_same_order_everywhere():
+    cluster = Cluster()
+    for index in range(5):
+        cluster.primary().propose(f"batch-{index}")
+    cluster.run()
+    reference = [(entry.seq, entry.digest) for entry in cluster.committed["node-0"]]
+    assert len(reference) == 5
+    for name in cluster.names:
+        assert [(entry.seq, entry.digest) for entry in cluster.committed[name]] == reference
+
+
+def test_non_primary_cannot_propose():
+    cluster = Cluster()
+    with pytest.raises(ProtocolViolation):
+        cluster.replicas["node-1"].propose("rogue-batch")
+
+
+def test_progress_with_one_silent_replica():
+    cluster = Cluster()
+    # node-3 never receives anything (crashed): 3 of 4 replicas remain.
+    for name in cluster.names:
+        cluster.block(name, "node-3")
+        cluster.block("node-3", name)
+    cluster.primary().propose("batch-1")
+    cluster.run()
+    for name in ("node-0", "node-1", "node-2"):
+        assert len(cluster.committed[name]) == 1
+    assert cluster.committed["node-3"] == []
+
+
+def test_preprepare_with_wrong_digest_is_ignored():
+    cluster = Cluster()
+    replica = cluster.replicas["node-1"]
+    bogus = PrePrepareMsg(view=0, seq=1, digest="not-the-digest", batch="batch")
+    replica.on_preprepare(bogus, "node-0")
+    cluster.run()
+    assert cluster.committed["node-1"] == []
+
+
+def test_preprepare_from_non_primary_is_ignored():
+    cluster = Cluster()
+    from repro.crypto.hashing import digest as H
+
+    replica = cluster.replicas["node-1"]
+    rogue = PrePrepareMsg(view=0, seq=1, digest=H("batch"), batch="batch")
+    replica.on_preprepare(rogue, "node-2")
+    cluster.run()
+    assert cluster.committed["node-1"] == []
+
+
+def test_view_change_replaces_unresponsive_primary():
+    cluster = Cluster(request_timeout=0.2)
+    # The primary goes silent after sending a PREPREPARE to only two replicas:
+    # they can never gather 2f+1 PREPAREs, time out, and request a view change;
+    # the remaining replica joins after seeing f+1 view-change requests.
+    for name in cluster.names[1:]:
+        cluster.block("node-0", name)
+    from repro.crypto.hashing import digest as H
+
+    preprepare = PrePrepareMsg(view=0, seq=1, digest=H("lost-batch"), batch="lost-batch")
+    for name in ("node-1", "node-2"):
+        cluster.replicas[name].on_preprepare(preprepare, "node-0")
+    cluster.run(until=3.0)
+    for name in cluster.names[1:]:
+        assert cluster.replicas[name].view >= 1
+        assert cluster.replicas[name].primary != "node-0"
+
+
+def test_view_change_requires_quorum():
+    cluster = Cluster(request_timeout=10.0)
+    cluster.replicas["node-1"].request_view_change(reason="unilateral")
+    cluster.run(until=2.0)
+    # A single node cannot force a view change.
+    assert all(replica.view == 0 for replica in cluster.replicas.values())
+
+
+def test_unsuccessful_consensus_behaviour_stalls_but_triggers_timeouts():
+    behaviours = {"node-0": UnsuccessfulConsensusBehaviour(max_targets=1)}
+    cluster = Cluster(request_timeout=0.2, behaviours=behaviours)
+    cluster.primary().propose("starved-batch")
+    cluster.run(until=3.0)
+    # Only one other node saw the proposal, so it cannot gather 2f+1 prepares;
+    # eventually the nodes that saw it time out and the view moves on.
+    committed_counts = [len(entries) for entries in cluster.committed.values()]
+    assert max(committed_counts) == 0 or cluster.replicas["node-1"].view >= 1
+
+
+def test_equivocation_is_not_committed_twice_at_same_sequence():
+    cluster = Cluster()
+    from repro.crypto.hashing import digest as H
+
+    # A byzantine primary sends batch-A to nodes 1,2 and batch-B to node 3.
+    msg_a = PrePrepareMsg(view=0, seq=1, digest=H("batch-A"), batch="batch-A")
+    msg_b = PrePrepareMsg(view=0, seq=1, digest=H("batch-B"), batch="batch-B")
+    cluster.replicas["node-1"].on_preprepare(msg_a, "node-0")
+    cluster.replicas["node-2"].on_preprepare(msg_a, "node-0")
+    cluster.replicas["node-3"].on_preprepare(msg_b, "node-0")
+    cluster.run(until=2.0)
+    digests_at_seq1 = set()
+    for name in cluster.names:
+        for entry in cluster.committed[name]:
+            if entry.seq == 1:
+                digests_at_seq1.add(entry.digest)
+    # Shim non-divergence: at most one digest can ever commit at sequence 1.
+    assert len(digests_at_seq1) <= 1
+
+
+def test_featherweight_checkpoint_brings_dark_node_up_to_date():
+    behaviours = {"node-0": NodesInDarkBehaviour(dark_nodes={"node-3"})}
+    cluster = Cluster(request_timeout=50.0, behaviours=behaviours)
+    # node-3 is fully in the dark: it misses the PREPREPAREs (byzantine primary
+    # excludes it) and, while the attack lasts, all other consensus traffic.
+    for name in ("node-0", "node-1", "node-2"):
+        cluster.block(name, "node-3")
+    for index in range(3):
+        cluster.primary().propose(f"batch-{index}")
+    cluster.run(until=1.0)
+    assert len(cluster.committed["node-3"]) == 0
+    assert len(cluster.committed["node-1"]) == 3
+    # Connectivity returns; an honest node sends its featherweight checkpoint
+    # (certificates only, no client requests) and the dark node adopts the
+    # decisions after verifying the 2f+1 commit signatures in each certificate.
+    cluster.blocked_links.clear()
+    cluster.replicas["node-1"].send_checkpoint()
+    cluster.run(until=2.0)
+    assert len(cluster.committed["node-3"]) == 3
+    assert sorted(entry.seq for entry in cluster.committed["node-3"]) == [1, 2, 3]
+
+
+def test_primary_rotation_is_round_robin():
+    cluster = Cluster()
+    replica = cluster.primary()
+    assert replica.primary_of(0) == "node-0"
+    assert replica.primary_of(1) == "node-1"
+    assert replica.primary_of(5) == "node-1"

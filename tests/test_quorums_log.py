@@ -1,0 +1,117 @@
+"""Unit tests for quorum tracking and the consensus log."""
+
+from repro.consensus.log import CommittedEntry, ConsensusLog
+from repro.consensus.quorums import QuorumTracker
+
+
+def test_quorum_reached_exactly_once():
+    tracker = QuorumTracker(threshold=3)
+    key = (0, 1, "digest")
+    assert tracker.add(key, "a") is False
+    assert tracker.add(key, "b") is False
+    assert tracker.add(key, "c") is True
+    assert tracker.add(key, "d") is False  # already reached
+    assert tracker.reached(key)
+    assert tracker.count(key) == 4
+
+
+def test_duplicate_voters_do_not_count():
+    tracker = QuorumTracker(threshold=2)
+    key = "slot-1"
+    assert tracker.add(key, "a") is False
+    assert tracker.add(key, "a") is False
+    assert tracker.count(key) == 1
+    assert not tracker.reached(key)
+    assert tracker.add(key, "b") is True
+
+
+def test_payloads_and_voters_preserved():
+    tracker = QuorumTracker(threshold=2)
+    tracker.add("k", "a", payload="sig-a")
+    tracker.add("k", "b", payload="sig-b")
+    assert set(tracker.voters("k")) == {"a", "b"}
+    assert set(tracker.payloads("k")) == {"sig-a", "sig-b"}
+
+
+def test_independent_keys_tracked_separately():
+    tracker = QuorumTracker(threshold=2)
+    tracker.add(("v", 1), "a")
+    tracker.add(("v", 2), "a")
+    assert tracker.count(("v", 1)) == 1
+    assert tracker.count(("v", 2)) == 1
+    assert set(tracker.keys()) == {("v", 1), ("v", 2)}
+
+
+def test_clear_resets_key():
+    tracker = QuorumTracker(threshold=1)
+    tracker.add("k", "a")
+    assert tracker.reached("k")
+    tracker.clear("k")
+    assert not tracker.reached("k")
+    assert tracker.count("k") == 0
+
+
+def test_best_key_with_prefix():
+    tracker = QuorumTracker(threshold=10)
+    tracker.add(("v1", "x"), "a")
+    tracker.add(("v1", "x"), "b")
+    tracker.add(("v2", "y"), "c")
+    best = tracker.best_key_with_prefix(lambda key: key[0] == "v1")
+    assert best == (("v1", "x"), 2)
+    assert tracker.best_key_with_prefix(lambda key: key[0] == "v3") is None
+
+
+# ------------------------------------------------------------------ consensus log
+
+
+def entry(seq, digest="d"):
+    return CommittedEntry(seq=seq, view=0, digest=digest, batch=f"batch-{seq}", certificate=())
+
+
+def test_log_slots_and_commits():
+    log = ConsensusLog()
+    slot = log.slot(3)
+    slot.prepared = True
+    assert log.has_slot(3)
+    assert not log.is_committed(3)
+    log.record_commit(entry(3))
+    assert log.is_committed(3)
+    assert log.committed_count() == 1
+    assert log.max_committed_seq() == 3
+
+
+def test_committed_entries_sorted_and_since():
+    log = ConsensusLog()
+    for seq in (5, 2, 7):
+        log.record_commit(entry(seq))
+    assert [e.seq for e in log.committed_entries()] == [2, 5, 7]
+    assert [e.seq for e in log.committed_since(2)] == [5, 7]
+
+
+def test_prepared_uncommitted_listing():
+    log = ConsensusLog()
+    log.slot(1).prepared = True
+    log.slot(2).prepared = True
+    log.record_commit(entry(2))
+    pending = log.prepared_uncommitted()
+    assert [slot.seq for slot in pending] == [1]
+
+
+def test_checkpoint_advancement_and_missing():
+    log = ConsensusLog()
+    for seq in (1, 2, 4):
+        log.record_commit(entry(seq))
+    assert log.missing_below(4) == [3]
+    log.advance_checkpoint(2)
+    assert log.last_checkpoint_seq == 2
+    log.advance_checkpoint(1)
+    assert log.last_checkpoint_seq == 2  # never goes backwards
+
+
+def test_slot_certificate_collects_distinct_signatures():
+    log = ConsensusLog()
+    slot = log.slot(1)
+    slot.commit_signatures["node-0"] = "sig-0"
+    slot.commit_signatures["node-1"] = "sig-1"
+    slot.commit_signatures["node-0"] = "sig-0-bis"
+    assert len(slot.certificate) == 2

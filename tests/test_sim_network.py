@@ -1,0 +1,141 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkFaultPlan, UniformLatencyModel
+from repro.sim.rng import DeterministicRNG
+
+
+def build_network(fault_plan=None, base_delay=0.001, jitter=0.0, bandwidth=0.0):
+    sim = Simulator()
+    network = Network(
+        sim,
+        UniformLatencyModel(base_delay=base_delay, jitter=jitter, bandwidth_bytes_per_sec=bandwidth),
+        DeterministicRNG(1),
+        fault_plan=fault_plan,
+    )
+    return sim, network
+
+
+def test_message_delivered_with_latency():
+    sim, network = build_network(base_delay=0.005)
+    received = []
+    network.register("a", "us-west-1", lambda msg, sender: received.append((msg, sender, sim.now)))
+    network.register("b", "us-west-1", lambda msg, sender: None)
+    network.send("b", "a", "hello", size_bytes=10)
+    sim.run_until_idle()
+    assert received == [("hello", "b", pytest.approx(0.005))]
+    assert network.messages_sent == 1
+    assert network.messages_delivered == 1
+
+
+def test_bandwidth_adds_serialisation_delay():
+    sim, network = build_network(base_delay=0.0, bandwidth=1000.0)
+    received = []
+    network.register("a", "r", lambda msg, sender: received.append(sim.now))
+    network.register("b", "r", lambda msg, sender: None)
+    network.send("b", "a", "payload", size_bytes=500)
+    sim.run_until_idle()
+    assert received == [pytest.approx(0.5)]
+
+
+def test_unknown_sender_rejected():
+    _sim, network = build_network()
+    network.register("a", "r", lambda msg, sender: None)
+    with pytest.raises(SimulationError):
+        network.send("ghost", "a", "boo")
+
+
+def test_unknown_destination_counts_as_drop():
+    sim, network = build_network()
+    network.register("a", "r", lambda msg, sender: None)
+    network.send("a", "ghost", "boo")
+    sim.run_until_idle()
+    assert network.messages_dropped == 1
+    assert network.messages_delivered == 0
+
+
+def test_drop_probability_one_drops_everything():
+    sim, network = build_network(fault_plan=NetworkFaultPlan(drop_probability=1.0))
+    received = []
+    network.register("a", "r", lambda msg, sender: received.append(msg))
+    network.register("b", "r", lambda msg, sender: None)
+    for _ in range(5):
+        network.send("b", "a", "x")
+    sim.run_until_idle()
+    assert received == []
+    assert network.messages_dropped == 5
+
+
+def test_duplicate_probability_duplicates_messages():
+    sim, network = build_network(fault_plan=NetworkFaultPlan(duplicate_probability=1.0))
+    received = []
+    network.register("a", "r", lambda msg, sender: received.append(msg))
+    network.register("b", "r", lambda msg, sender: None)
+    network.send("b", "a", "x")
+    sim.run_until_idle()
+    assert received == ["x", "x"]
+
+
+def test_partition_blocks_directed_traffic_and_heals():
+    plan = NetworkFaultPlan()
+    plan.partition("a", "b", bidirectional=False)
+    sim, network = build_network(fault_plan=plan)
+    received = {"a": [], "b": []}
+    network.register("a", "r", lambda msg, sender: received["a"].append(msg))
+    network.register("b", "r", lambda msg, sender: received["b"].append(msg))
+    network.send("a", "b", "blocked")
+    network.send("b", "a", "allowed")
+    sim.run_until_idle()
+    assert received["b"] == []
+    assert received["a"] == ["allowed"]
+    plan.heal()
+    network.send("a", "b", "after-heal")
+    sim.run_until_idle()
+    assert received["b"] == ["after-heal"]
+
+
+def test_muted_endpoint_cannot_send():
+    plan = NetworkFaultPlan(muted_endpoints={"a"})
+    sim, network = build_network(fault_plan=plan)
+    received = []
+    network.register("a", "r", lambda msg, sender: None)
+    network.register("b", "r", lambda msg, sender: received.append(msg))
+    network.send("a", "b", "silenced")
+    sim.run_until_idle()
+    assert received == []
+
+
+def test_broadcast_skips_sender():
+    sim, network = build_network()
+    received = {"a": [], "b": [], "c": []}
+    for name in received:
+        network.register(name, "r", lambda msg, sender, name=name: received[name].append(msg))
+    network.broadcast("a", ["a", "b", "c"], "hello")
+    sim.run_until_idle()
+    assert received["a"] == []
+    assert received["b"] == ["hello"]
+    assert received["c"] == ["hello"]
+
+
+def test_region_lookup_and_unregister():
+    _sim, network = build_network()
+    network.register("a", "eu-west-1", lambda msg, sender: None)
+    assert network.region_of("a") == "eu-west-1"
+    assert network.has_endpoint("a")
+    network.unregister("a")
+    assert not network.has_endpoint("a")
+    with pytest.raises(SimulationError):
+        network.region_of("a")
+
+
+def test_bytes_accounted():
+    sim, network = build_network()
+    network.register("a", "r", lambda msg, sender: None)
+    network.register("b", "r", lambda msg, sender: None)
+    network.send("a", "b", "x", size_bytes=100)
+    network.send("a", "b", "y", size_bytes=250)
+    sim.run_until_idle()
+    assert network.bytes_sent == 350

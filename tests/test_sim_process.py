@@ -1,0 +1,125 @@
+"""Unit tests for CPU resources and simulated processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import CpuResource, SimProcess
+
+
+def test_single_core_serialises_jobs():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    done = []
+    cpu.submit(1.0, lambda: done.append(("a", sim.now)))
+    cpu.submit(1.0, lambda: done.append(("b", sim.now)))
+    sim.run_until_idle()
+    assert done == [("a", 1.0), ("b", 2.0)]
+
+
+def test_multi_core_runs_jobs_in_parallel():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=2)
+    done = []
+    cpu.submit(1.0, lambda: done.append(sim.now))
+    cpu.submit(1.0, lambda: done.append(sim.now))
+    cpu.submit(1.0, lambda: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [1.0, 1.0, 2.0]
+
+
+def test_fifo_ordering_of_queued_jobs():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    done = []
+    for label, duration in (("first", 0.5), ("second", 0.1), ("third", 0.2)):
+        cpu.submit(duration, lambda label=label: done.append(label))
+    sim.run_until_idle()
+    assert done == ["first", "second", "third"]
+
+
+def test_zero_cost_job_completes_immediately():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    done = []
+    cpu.submit(0.0, lambda: done.append("now"))
+    assert done == ["now"]
+    assert cpu.jobs_done == 0  # zero-cost jobs do not occupy the core
+
+
+def test_busy_time_and_utilisation():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=2)
+    cpu.submit(1.0, lambda: None)
+    cpu.submit(3.0, lambda: None)
+    sim.run_until_idle()
+    assert cpu.busy_time == pytest.approx(4.0)
+    assert cpu.utilisation(elapsed=4.0) == pytest.approx(0.5)
+    assert cpu.utilisation(elapsed=0.0) == 0.0
+    assert cpu.jobs_done == 2
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    with pytest.raises(SimulationError):
+        cpu.submit(-1.0, lambda: None)
+
+
+def test_cpu_requires_at_least_one_core():
+    with pytest.raises(SimulationError):
+        CpuResource(Simulator(), cores=0)
+
+
+class _Recorder(SimProcess):
+    def __init__(self, sim, cores=None):
+        super().__init__(sim, "recorder", "us-west-1", cores=cores)
+        self.messages = []
+
+    def on_message(self, message, sender):
+        self.messages.append((message, sender))
+
+
+def test_process_without_cpu_runs_immediately():
+    sim = Simulator()
+    proc = _Recorder(sim, cores=None)
+    done = []
+    proc.process(5.0, lambda: done.append(sim.now))
+    assert done == [0.0]
+
+
+def test_process_with_cpu_consumes_time():
+    sim = Simulator()
+    proc = _Recorder(sim, cores=1)
+    done = []
+    proc.process(0.5, lambda: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [0.5]
+
+
+def test_process_parallel_divides_by_usable_cores():
+    sim = Simulator()
+    proc = _Recorder(sim, cores=4)
+    done = []
+    proc.process_parallel(4.0, parallelism=8, on_done=lambda: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [pytest.approx(1.0)]
+
+
+def test_process_parallel_limited_by_parallelism():
+    sim = Simulator()
+    proc = _Recorder(sim, cores=8)
+    done = []
+    proc.process_parallel(4.0, parallelism=2, on_done=lambda: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_set_timer_is_cancellable():
+    sim = Simulator()
+    proc = _Recorder(sim)
+    hits = []
+    timer = proc.set_timer(1.0, hits.append, "late")
+    timer.cancel()
+    sim.run_until_idle()
+    assert hits == []

@@ -1,0 +1,88 @@
+"""Unit tests for the deterministic RNG utilities."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG, derive_seed, spread_evenly
+
+
+def test_same_seed_same_stream():
+    first = DeterministicRNG(42)
+    second = DeterministicRNG(42)
+    assert [first.random() for _ in range(10)] == [second.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    first = DeterministicRNG(1)
+    second = DeterministicRNG(2)
+    assert [first.random() for _ in range(5)] != [second.random() for _ in range(5)]
+
+
+def test_child_streams_are_independent_and_deterministic():
+    root = DeterministicRNG(7)
+    child_a = root.child("network")
+    child_b = root.child("cloud")
+    assert child_a.seed != child_b.seed
+    again = DeterministicRNG(7).child("network")
+    assert [child_a.random() for _ in range(5)] == [again.random() for _ in range(5)]
+
+
+def test_derive_seed_depends_on_labels():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+
+
+def test_chance_edges():
+    rng = DeterministicRNG(3)
+    assert rng.chance(0.0) is False
+    assert rng.chance(1.0) is True
+    assert rng.chance(-0.5) is False
+    assert rng.chance(1.5) is True
+
+
+def test_chance_probability_roughly_respected():
+    rng = DeterministicRNG(11)
+    hits = sum(1 for _ in range(5000) if rng.chance(0.3))
+    assert 0.25 < hits / 5000 < 0.35
+
+
+def test_zipf_index_within_range():
+    rng = DeterministicRNG(5)
+    for _ in range(500):
+        value = rng.zipf_index(100, 0.9)
+        assert 0 <= value < 101  # the YCSB approximation can return the boundary
+    uniform = rng.zipf_index(100, 0.0)
+    assert 0 <= uniform < 100
+
+
+def test_zipf_skews_towards_small_indices():
+    rng = DeterministicRNG(5)
+    draws = [rng.zipf_index(1000, 0.99) for _ in range(2000)]
+    small = sum(1 for value in draws if value < 100)
+    assert small > len(draws) * 0.4
+
+
+def test_zipf_population_must_be_positive():
+    rng = DeterministicRNG(5)
+    with pytest.raises(ValueError):
+        rng.zipf_index(0, 0.9)
+
+
+def test_spread_evenly_round_robin():
+    buckets = spread_evenly(list(range(7)), 3)
+    assert buckets == [[0, 3, 6], [1, 4], [2, 5]]
+    assert sum(len(bucket) for bucket in buckets) == 7
+
+
+def test_spread_evenly_rejects_zero_buckets():
+    with pytest.raises(ValueError):
+        spread_evenly([1, 2, 3], 0)
+
+
+def test_sample_and_choice_draw_from_options():
+    rng = DeterministicRNG(9)
+    options = ["a", "b", "c", "d"]
+    assert rng.choice(options) in options
+    sample = rng.sample(options, 2)
+    assert len(sample) == 2
+    assert set(sample) <= set(options)

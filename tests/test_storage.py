@@ -1,0 +1,89 @@
+"""Unit tests for the on-premise storage substrate."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, UniformLatencyModel
+from repro.sim.rng import DeterministicRNG
+from repro.storage.kvstore import VersionedKVStore, VersionedValue
+from repro.storage.service import StorageReadReply, StorageReadRequest, StorageService
+
+
+def test_load_and_read():
+    store = VersionedKVStore()
+    store.load(100, value="init")
+    assert len(store) == 100
+    entry = store.read("user42")
+    assert entry == VersionedValue("init", 1)
+    assert store.contains("user42")
+    assert not store.contains("user100")
+
+
+def test_missing_key_reads_as_version_zero():
+    store = VersionedKVStore()
+    assert store.read("ghost") == VersionedValue("", 0)
+    assert store.get_value("ghost") is None
+
+
+def test_apply_writes_bumps_versions():
+    store = VersionedKVStore()
+    versions = store.apply_writes({"a": "1", "b": "2"})
+    assert versions == {"a": 1, "b": 1}
+    versions = store.apply_writes({"a": "3"})
+    assert versions == {"a": 2}
+    assert store.read("a") == VersionedValue("3", 2)
+    assert store.write_count == 3
+
+
+def test_read_many_and_version_matching():
+    store = VersionedKVStore()
+    store.apply_writes({"x": "1", "y": "2"})
+    snapshot = store.read_many(["x", "y", "z"])
+    assert snapshot.versions() == {"x": 1, "y": 1, "z": 0}
+    assert snapshot.matches_versions(store.current_versions(["x", "y", "z"]))
+    store.apply_writes({"x": "changed"})
+    assert not snapshot.matches_versions(store.current_versions(["x", "y", "z"]))
+
+
+def test_negative_load_rejected():
+    with pytest.raises(StorageError):
+        VersionedKVStore().load(-1)
+
+
+def test_read_counts_tracked():
+    store = VersionedKVStore()
+    store.read("a")
+    store.read_many(["b", "c"])
+    assert store.read_count == 3
+
+
+def test_storage_service_answers_read_requests_over_network():
+    sim = Simulator()
+    network = Network(sim, UniformLatencyModel(base_delay=0.001, jitter=0.0), DeterministicRNG(1))
+    store = VersionedKVStore()
+    store.apply_writes({"k1": "v1", "k2": "v2"})
+    service = StorageService(sim, network, store, name="storage", region="us-west-1")
+
+    replies = []
+    network.register("executor-0", "us-west-1", lambda msg, sender: replies.append((msg, sender)))
+    request = StorageReadRequest(request_id="r1", keys=("k1", "k2", "missing"))
+    network.send("executor-0", "storage", request, size_bytes=64)
+    sim.run_until_idle()
+
+    assert len(replies) == 1
+    reply, sender = replies[0]
+    assert sender == "storage"
+    assert isinstance(reply, StorageReadReply)
+    assert reply.request_id == "r1"
+    assert reply.result.versions() == {"k1": 1, "k2": 1, "missing": 0}
+    assert service.requests_served == 1
+
+
+def test_storage_service_ignores_unrelated_messages():
+    sim = Simulator()
+    network = Network(sim, UniformLatencyModel(), DeterministicRNG(1))
+    service = StorageService(sim, network, VersionedKVStore())
+    service.on_message("not-a-read-request", "someone")
+    sim.run_until_idle()
+    assert service.requests_served == 0
