@@ -69,9 +69,15 @@ def simulate_point(
     consensus_engine: str = "pbft",
     duration: float = 3.0,
     warmup: float = 0.5,
+    report_perf: bool = True,
     **runner_kwargs,
 ) -> SimulationResult:
-    """Run one message-level simulation point (used by the measured benches)."""
+    """Run one message-level simulation point (used by the measured benches).
+
+    Each point also reports its host-side cost (wall-clock seconds and kernel
+    events per second) so the BENCH_*.json files capture the simulator's
+    performance trajectory alongside the simulated metrics.
+    """
     simulation = ServerlessBFTSimulation(
         config,
         workload=workload,
@@ -79,4 +85,11 @@ def simulate_point(
         tracer_enabled=False,
         **runner_kwargs,
     )
-    return simulation.run(duration=duration, warmup=warmup)
+    result = simulation.run(duration=duration, warmup=warmup)
+    if report_perf:
+        print(
+            f"[perf] simulate_point: wall_clock={result.wall_clock_seconds:.3f}s "
+            f"events={result.events_processed:,} "
+            f"events/sec={result.events_per_second:,.0f}"
+        )
+    return result

@@ -22,7 +22,7 @@ from repro.consensus.messages import (
 )
 from repro.consensus.quorums import QuorumTracker
 from repro.crypto.costs import CryptoCostModel
-from repro.crypto.hashing import digest
+from repro.crypto.hashing import cached_digest
 from repro.errors import ProtocolViolation
 
 
@@ -120,7 +120,7 @@ class PaxosReplica:
             raise ProtocolViolation(f"{self._id} is not the Paxos leader")
         self._next_seq += 1
         seq = self._next_seq
-        batch_digest = digest(batch)
+        batch_digest = cached_digest(batch)
         slot = self._log.slot(seq)
         slot.view = self._ballot
         slot.digest = batch_digest

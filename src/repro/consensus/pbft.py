@@ -37,7 +37,7 @@ from repro.consensus.messages import (
 )
 from repro.consensus.quorums import QuorumTracker
 from repro.crypto.costs import CryptoCostModel
-from repro.crypto.hashing import digest
+from repro.crypto.hashing import cached_digest, seed_cached_digest
 from repro.crypto.signatures import Signature, SignatureService
 from repro.errors import ProtocolViolation
 
@@ -162,7 +162,7 @@ class PBFTReplica:
             raise ProtocolViolation(f"{self._id} is not the primary of view {self._view}")
         self._next_seq += 1
         seq = self._next_seq
-        batch_digest = digest(batch)
+        batch_digest = cached_digest(batch)
         message = PrePrepareMsg(view=self._view, seq=seq, digest=batch_digest, batch=batch)
 
         targets = [replica for replica in self._replicas if replica != self._id]
@@ -191,7 +191,7 @@ class PBFTReplica:
             other_message = PrePrepareMsg(
                 view=message.view,
                 seq=message.seq,
-                digest=digest(other_batch),
+                digest=cached_digest(other_batch),
                 batch=other_batch,
             )
             first_group = [t for t in targets if t not in set(other_targets)]
@@ -233,7 +233,7 @@ class PBFTReplica:
             return
         if slot.committed:
             return
-        if digest(message.batch) != message.digest:
+        if cached_digest(message.batch) != message.digest:
             return
         slot.view = message.view
         slot.digest = message.digest
@@ -270,10 +270,14 @@ class PBFTReplica:
         if self._behaviour is not None and self._behaviour.suppress("commit"):
             return
         unsigned = CommitMsg(view=view, seq=seq, digest=batch_digest, replica=self._id)
-        signature = self._signer.sign(unsigned.canonical())
+        signature = self._signer.sign(unsigned)
         commit = CommitMsg(
             view=view, seq=seq, digest=batch_digest, replica=self._id, signature=signature
         )
+        # The canonical form ignores the signature field, so the signed copy
+        # has the same digest as the unsigned payload: seed the memo so no
+        # receiver ever re-serialises this commit.
+        seed_cached_digest(commit, signature.message_digest)
         cost = self._costs.ds_sign
         self._host.process(cost, lambda: self._transport.broadcast(commit, COMMIT_BYTES))
         self._record_commit_vote(commit, self._id)
@@ -283,7 +287,7 @@ class PBFTReplica:
             return
         if message.signature is None:
             return
-        if not self._signer.verify(message.unsigned().canonical(), message.signature):
+        if not self._signer.verify(message, message.signature):
             return
         self._host.process(self._costs.ds_verify, lambda: self._record_commit_vote(message, sender))
 
@@ -344,10 +348,11 @@ class PBFTReplica:
             for slot in self._log.prepared_uncommitted()
         )
         unsigned = ViewChangeMsg(new_view=new_view, replica=self._id, prepared=prepared)
-        signature = self._signer.sign(unsigned.canonical())
+        signature = self._signer.sign(unsigned)
         message = ViewChangeMsg(
             new_view=new_view, replica=self._id, prepared=prepared, signature=signature
         )
+        seed_cached_digest(message, signature.message_digest)
         self._trace("pbft.viewchange_requested", new_view=new_view, reason=reason)
         self._host.process(
             self._costs.ds_sign,
@@ -361,7 +366,7 @@ class PBFTReplica:
         if message.replica != sender:
             return
         if message.signature is not None and not self._signer.verify(
-            message.unsigned().canonical(), message.signature
+            message, message.signature
         ):
             return
         key = message.new_view
@@ -393,14 +398,15 @@ class PBFTReplica:
             reproposals=tuple(reproposals),
             supporters=supporters,
         )
-        signature = self._signer.sign(unsigned.canonical())
+        signature = self._signer.sign(unsigned)
         message = NewViewMsg(
             new_view=new_view,
             primary=self._id,
-            reproposals=tuple(reproposals),
+            reproposals=unsigned.reproposals,
             supporters=supporters,
             signature=signature,
         )
+        seed_cached_digest(message, signature.message_digest)
         self._host.process(
             self._costs.ds_sign,
             lambda: self._transport.broadcast(message, message.size_bytes),
@@ -418,7 +424,7 @@ class PBFTReplica:
         if sender != message.primary or self.primary_of(message.new_view) != message.primary:
             return
         if message.signature is not None and not self._signer.verify(
-            message.unsigned().canonical(), message.signature
+            message, message.signature
         ):
             return
         self._host.process(self._costs.ds_verify, lambda: self._adopt_view(message.new_view))
@@ -445,7 +451,7 @@ class PBFTReplica:
             self._on_view_installed(new_view, self.primary)
 
     def _repropose(self, seq: int, batch: Any) -> None:
-        batch_digest = digest(batch)
+        batch_digest = cached_digest(batch)
         message = PrePrepareMsg(view=self._view, seq=seq, digest=batch_digest, batch=batch)
         slot = self._log.slot(seq)
         slot.view = self._view
@@ -479,7 +485,7 @@ class PBFTReplica:
         unsigned = CheckpointMsg(
             view=self._view, up_to_seq=up_to, replica=self._id, certificates=certificates
         )
-        signature = self._signer.sign(unsigned.canonical())
+        signature = self._signer.sign(unsigned)
         message = CheckpointMsg(
             view=self._view,
             up_to_seq=up_to,
@@ -487,6 +493,7 @@ class PBFTReplica:
             certificates=certificates,
             signature=signature,
         )
+        seed_cached_digest(message, signature.message_digest)
         self._log.advance_checkpoint(up_to)
         self._host.process(
             self._costs.ds_sign,
@@ -498,7 +505,7 @@ class PBFTReplica:
         if message.replica != sender:
             return
         if message.signature is not None and not self._signer.verify(
-            message.unsigned().canonical(), message.signature
+            message, message.signature
         ):
             return
         adopted = 0
@@ -537,7 +544,7 @@ class PBFTReplica:
         valid_signers = set()
         for signature in signatures:
             unsigned = CommitMsg(view=view, seq=seq, digest=slot_digest, replica=signature.signer)
-            if self._signer.verify(unsigned.canonical(), signature):
+            if self._signer.verify(unsigned, signature):
                 valid_signers.add(signature.signer)
         return len(valid_signers)
 

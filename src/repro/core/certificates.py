@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 from repro.consensus.messages import CommitMsg
 from repro.crypto.signatures import Signature, SignatureService
 from repro.crypto.threshold import ThresholdSignature, ThresholdSigner
+from repro.perf import PERF
 
 
 @dataclass(frozen=True)
@@ -52,23 +53,29 @@ class CommitCertificate:
         """Check the certificate proves ``required`` distinct shim nodes committed.
 
         Each signature covers that node's own COMMIT message for
-        ``(view, seq, digest)``, which is re-derived here.
+        ``(view, seq, digest)``, which is re-derived here.  The set of valid
+        signers is memoised on the certificate instance: every executor
+        spawned for the same commit receives the *same* certificate object,
+        and signature validity depends only on the deployment's shared key
+        store, so re-checking per executor would be pure waste.
         """
         if self.threshold_signature is not None:
-            commit_payload = CommitMsg(
-                view=self.view, seq=self.seq, digest=self.digest, replica="*"
-            ).canonical()
             return (
                 len(self.threshold_signature.signers) >= required
                 and self.threshold_signature.message_digest is not None
             )
-        valid_signers = set()
-        for signature in self.signatures:
-            unsigned = CommitMsg(
-                view=self.view, seq=self.seq, digest=self.digest, replica=signature.signer
-            )
-            if verifier.verify(unsigned.canonical(), signature):
-                valid_signers.add(signature.signer)
+        valid_signers = self.__dict__.get("_valid_signers")
+        if valid_signers is None:
+            valid_signers = set()
+            for signature in self.signatures:
+                unsigned = CommitMsg(
+                    view=self.view, seq=self.seq, digest=self.digest, replica=signature.signer
+                )
+                if verifier.verify(unsigned, signature):
+                    valid_signers.add(signature.signer)
+            object.__setattr__(self, "_valid_signers", frozenset(valid_signers))
+        else:
+            PERF.certificate_cache_hits += 1
         return len(valid_signers) >= required
 
     def verification_cost(self, cost_model, required: int) -> float:

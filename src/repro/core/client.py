@@ -19,11 +19,11 @@ ABORT messages.
 
 from __future__ import annotations
 
-import dataclasses
 import itertools
 from typing import Dict, Optional
 
 from repro.core.messages import AbortMsg, ClientRequestMsg, ResponseMsg
+from repro.crypto.hashing import seed_cached_digest
 from repro.crypto.costs import CryptoCostModel
 from repro.crypto.signatures import SignatureService
 from repro.sim.engine import Simulator
@@ -130,21 +130,25 @@ class ClientGroup(SimProcess):
         if self._stop_time is not None and self.now >= self._stop_time:
             return
         request_id = f"{self.name}-req-{next(self._request_counter)}"
-        transactions = []
-        for slot in range(self._group_size):
-            txn = self._workload.next_transaction(client_index=self._client_index_offset + slot)
-            transactions.append(
-                dataclasses.replace(txn, origin=self.name, request_id=request_id)
+        transactions = tuple(
+            self._workload.next_transaction(
+                client_index=self._client_index_offset + slot,
+                origin=self.name,
+                request_id=request_id,
             )
-        unsigned = ClientRequestMsg(
-            request_id=request_id, origin=self.name, transactions=tuple(transactions)
+            for slot in range(self._group_size)
         )
+        unsigned = ClientRequestMsg(
+            request_id=request_id, origin=self.name, transactions=transactions
+        )
+        signature = self._signer.sign(unsigned)
         request = ClientRequestMsg(
             request_id=request_id,
             origin=self.name,
-            transactions=tuple(transactions),
-            signature=self._signer.sign(unsigned.canonical()),
+            transactions=transactions,
+            signature=signature,
         )
+        seed_cached_digest(request, signature.message_digest)
         timer = self.set_timer(self._client_timeout, self._on_timeout, request_id, 1)
         self._outstanding[request_id] = _OutstandingRequest(request, self.now, timer)
         self._network.send(self.name, self._primary_name, request, request.size_bytes)

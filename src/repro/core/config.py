@@ -80,6 +80,11 @@ class ProtocolConfig:
     use_threshold_certificates: bool = False
 
     # --- cost model / misc --------------------------------------------------------
+    #: Which signature implementation backs the simulation: "real" (HMAC, the
+    #: default — byzantine tests depend on real verification failing for forged
+    #: values) or "fast" (deterministic tokens; identical simulated-time
+    #: results, much cheaper wall-clock).  See repro.crypto.signatures.
+    crypto_backend: str = "real"
     crypto_costs: CryptoCostModel = field(default_factory=CryptoCostModel)
     message_handling_cost: float = 4e-6
     #: CPU time the primary spends ingesting one client transaction
@@ -158,6 +163,10 @@ class ProtocolConfig:
             raise ConfigurationError("client_groups must be at least 1")
         if self.shim_cores < 1 or self.verifier_cores < 1:
             raise ConfigurationError("core counts must be at least 1")
+        if self.crypto_backend not in ("real", "fast"):
+            raise ConfigurationError(
+                f"crypto_backend must be 'real' or 'fast', got {self.crypto_backend!r}"
+            )
 
     def with_overrides(self, **overrides) -> "ProtocolConfig":
         """Return a copy with some fields replaced (used by parameter sweeps)."""

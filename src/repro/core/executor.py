@@ -27,6 +27,7 @@ from typing import Optional
 from repro.cloud.lambda_cloud import ServerlessCloud
 from repro.core.messages import ExecuteMsg, VerifyMsg
 from repro.crypto.costs import CryptoCostModel
+from repro.crypto.hashing import seed_cached_digest
 from repro.crypto.signatures import SignatureService
 from repro.faults.byzantine import ExecutorBehaviour
 from repro.sim.engine import Simulator
@@ -34,7 +35,7 @@ from repro.sim.network import Network
 from repro.sim.process import SimProcess
 from repro.sim.tracing import Tracer
 from repro.storage.service import StorageReadReply, StorageReadRequest, StorageService
-from repro.workload.transactions import execute_batch
+from repro.workload.transactions import execute_batch_cached
 
 
 class Executor(SimProcess):
@@ -96,13 +97,13 @@ class Executor(SimProcess):
             self._trace("executor.invalid_certificate", seq=execute.seq, spawner=self._spawner)
             self._finish()
             return
-        keys = sorted(execute.batch.keys)
+        keys = execute.batch.sorted_keys
         if not keys:
             self._execute_with_data(execute, {}, {})
             return
         request = StorageReadRequest(
             request_id=f"{self.name}-read-{next(self._read_counter)}",
-            keys=tuple(keys),
+            keys=keys,
         )
         size = StorageService.REQUEST_BYTES_PER_KEY * len(keys)
         self._network.send(self.name, self._storage_name, request, size_bytes=size)
@@ -110,22 +111,39 @@ class Executor(SimProcess):
 
     def on_message(self, message, sender: str) -> None:
         if isinstance(message, StorageReadReply) and self._pending_execute is not None:
-            values = {key: entry.value for key, entry in message.result.values.items()}
-            versions = {key: entry.version for key, entry in message.result.values.items()}
-            self._execute_with_data(self._pending_execute, values, versions)
+            # Executors spawned for the same batch usually receive the same
+            # (cached) ReadResult object, so these maps are built only once
+            # per observed storage snapshot.
+            result = message.result
+            self._execute_with_data(
+                self._pending_execute,
+                result.plain_values(),
+                result.versions_map(),
+                snapshot_token=result.snapshot_token,
+            )
 
     # ------------------------------------------------------------------ execution
 
-    def _execute_with_data(self, execute: ExecuteMsg, values, versions) -> None:
+    def _execute_with_data(
+        self, execute: ExecuteMsg, values, versions, snapshot_token: int = -1
+    ) -> None:
         batch = execute.batch
         compute_time = batch.execution_seconds
-        compute_time += self._per_operation_cost * sum(
-            len(txn.operations) for txn in batch.transactions
+        compute_time += self._per_operation_cost * batch.operation_count
+        self.set_timer(
+            max(0.0, compute_time),
+            self._finish_execution,
+            execute,
+            values,
+            versions,
+            snapshot_token,
         )
-        self.set_timer(max(0.0, compute_time), self._finish_execution, execute, values, versions)
 
-    def _finish_execution(self, execute: ExecuteMsg, values, versions) -> None:
-        result = execute_batch(execute.batch, values, versions)
+    def _finish_execution(self, execute: ExecuteMsg, values, versions, snapshot_token=-1) -> None:
+        # Honest execution is deterministic, so the 3f_E+1 executors spawned
+        # for one batch share the memoised result when they observed the same
+        # storage versions; byzantine corruption happens after the memo.
+        result = execute_batch_cached(execute.batch, values, versions, snapshot_token)
         if self._behaviour is not None:
             result = self._behaviour.corrupt_result(result)
         unsigned = VerifyMsg(
@@ -136,6 +154,7 @@ class Executor(SimProcess):
             result=result,
             executor=self.name,
         )
+        signature = self._signer.sign(unsigned)
         message = VerifyMsg(
             seq=execute.seq,
             batch=execute.batch,
@@ -143,8 +162,9 @@ class Executor(SimProcess):
             certificate=execute.certificate,
             result=result,
             executor=self.name,
-            signature=self._signer.sign(unsigned.canonical()),
+            signature=signature,
         )
+        seed_cached_digest(message, signature.message_digest)
         copies = 1 if self._behaviour is None else self._behaviour.verify_copies()
         sign_cost = self._costs.ds_sign
         self.set_timer(sign_cost, self._send_verify, message, copies)

@@ -10,6 +10,7 @@ diagnostics (view changes, spawn counts, network statistics).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -23,7 +24,7 @@ from repro.core.messages import ExecuteMsg
 from repro.core.shim_node import ShimNode
 from repro.core.verifier import Verifier
 from repro.crypto.keys import KeyStore
-from repro.crypto.signatures import SignatureService
+from repro.crypto.signatures import SignatureService, resolve_backend
 from repro.errors import ConfigurationError
 from repro.faults.byzantine import ExecutorBehaviour, NodeBehaviour
 from repro.sim.engine import Simulator
@@ -57,6 +58,10 @@ class SimulationResult:
     messages_sent: int
     messages_dropped: int
     bytes_sent: int
+    #: Host wall-clock seconds the run took and the resulting kernel
+    #: event rate — the perf-trajectory metrics recorded by the benches.
+    wall_clock_seconds: float = 0.0
+    events_processed: int = 0
     billing: BillingReport = field(default_factory=BillingReport)
     cents_per_kilo_txn: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
@@ -65,6 +70,14 @@ class SimulationResult:
     def abort_rate(self) -> float:
         total = self.committed_txns + self.aborted_txns
         return self.aborted_txns / total if total else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Kernel events executed per wall-clock second (host speed, not
+        simulated time — the number the kernel-throughput bench tracks)."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_clock_seconds
 
 
 class ServerlessBFTSimulation:
@@ -97,6 +110,9 @@ class ServerlessBFTSimulation:
         self.rng = DeterministicRNG(config.seed)
         self.catalog = regions or RegionCatalog()
         self.tracer = Tracer(enabled=tracer_enabled)
+        # Components skip tracing entirely on a None tracer; threading None
+        # when tracing is off removes a dead call per protocol step.
+        component_tracer = self.tracer if tracer_enabled else None
         self.network = Network(
             self.sim,
             GeoLatencyModel(self.catalog),
@@ -104,6 +120,7 @@ class ServerlessBFTSimulation:
             fault_plan=network_fault_plan,
         )
         self.keystore = KeyStore(deployment_secret=f"deployment-{config.seed}")
+        self.crypto_backend = resolve_backend(config.crypto_backend)
         self.store = VersionedKVStore()
         if preload_storage:
             self.store.load(config.storage_records)
@@ -133,7 +150,7 @@ class ServerlessBFTSimulation:
             region=config.verifier_region,
             cores=config.verifier_cores,
             store=self.store,
-            signer=SignatureService(self.keystore, "verifier"),
+            signer=self._make_signer("verifier"),
             costs=config.crypto_costs,
             shim_node_names=shim_names,
             match_quorum=config.executor_match_quorum,
@@ -141,7 +158,7 @@ class ServerlessBFTSimulation:
             expected_executors=config.num_executors,
             quorum_timeout=config.verifier_quorum_timeout,
             throughput=self.throughput,
-            tracer=self.tracer,
+            tracer=component_tracer,
         )
         self.storage_service = StorageService(
             sim=self.sim,
@@ -162,14 +179,14 @@ class ServerlessBFTSimulation:
                 region=config.shim_region,
                 config=config,
                 shim_names=shim_names,
-                signer=SignatureService(self.keystore, name),
+                signer=self._make_signer(name),
                 costs=config.crypto_costs,
                 cloud=self.cloud,
                 executor_regions=executor_regions,
                 verifier_name="verifier",
                 consensus_engine=consensus_engine,
                 behaviour=node_behaviours.get(name),
-                tracer=self.tracer,
+                tracer=component_tracer,
             )
             self.nodes.append(node)
 
@@ -184,13 +201,13 @@ class ServerlessBFTSimulation:
                 region=config.client_region,
                 group_size=group_size,
                 workload=self.workload,
-                signer=SignatureService(self.keystore, f"client-group-{index}"),
+                signer=self._make_signer(f"client-group-{index}"),
                 costs=config.crypto_costs,
                 primary_name=shim_names[0],
                 verifier_name="verifier",
                 client_timeout=config.client_timeout,
                 latency_recorder=self.latency,
-                tracer=self.tracer,
+                tracer=component_tracer,
                 client_index_offset=index * group_size,
             )
             self.clients.append(group)
@@ -206,6 +223,10 @@ class ServerlessBFTSimulation:
 
     # ------------------------------------------------------------------ wiring helpers
 
+    def _make_signer(self, owner: str) -> SignatureService:
+        """A signature service bound to the deployment's crypto backend."""
+        return SignatureService(self.keystore, owner, backend=self.crypto_backend)
+
     def _on_primary_change(self, primary: str) -> None:
         for group in self.clients:
             group.update_primary(primary)
@@ -220,7 +241,7 @@ class ServerlessBFTSimulation:
             network=self.network,
             name=executor_id,
             region=region,
-            signer=SignatureService(self.keystore, executor_id),
+            signer=self._make_signer(executor_id),
             costs=self.config.crypto_costs,
             cloud=self.cloud,
             storage_name="storage",
@@ -228,7 +249,7 @@ class ServerlessBFTSimulation:
             required_certificate_signers=self._executor_required_signers,
             per_operation_cost=self.config.executor_read_ops_cost,
             behaviour=behaviour,
-            tracer=self.tracer,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
         self._executor_counter += 1
         if isinstance(payload, ExecuteMsg):
@@ -248,10 +269,12 @@ class ServerlessBFTSimulation:
         for index, group in enumerate(self.clients):
             group._stop_time = duration
             self.sim.schedule(index * stagger, group.start)
+        started = time.perf_counter()
         self.sim.run(until=duration)
-        return self._collect(duration, warmup)
+        wall_clock = time.perf_counter() - started
+        return self._collect(duration, warmup, wall_clock)
 
-    def _collect(self, duration: float, warmup: float) -> SimulationResult:
+    def _collect(self, duration: float, warmup: float, wall_clock: float = 0.0) -> SimulationResult:
         window = max(1e-9, duration - warmup)
         committed = self.throughput.completed
         # Charge the always-on VMs of the deployment (shim + verifier) for the run.
@@ -290,6 +313,8 @@ class ServerlessBFTSimulation:
             messages_sent=self.network.messages_sent,
             messages_dropped=self.network.messages_dropped,
             bytes_sent=self.network.bytes_sent,
+            wall_clock_seconds=wall_clock,
+            events_processed=self.sim.events_processed,
             billing=billing,
             cents_per_kilo_txn=billing.cents_per_kilo_txn(committed),
         )

@@ -36,6 +36,7 @@ from repro.core.messages import (
 )
 from repro.core.spawning import DecentralizedSpawnPolicy, PrimarySpawnPolicy
 from repro.crypto.costs import CryptoCostModel
+from repro.crypto.hashing import seed_cached_digest
 from repro.crypto.signatures import SignatureService
 from repro.faults.byzantine import NodeBehaviour
 from repro.sim.engine import Simulator
@@ -317,6 +318,7 @@ class ShimNode(SimProcess):
             certificate=certificate,
             spawner=self.name,
         )
+        signature = self._signer.sign(unsigned)
         execute = ExecuteMsg(
             seq=entry.seq,
             view=entry.view,
@@ -324,8 +326,9 @@ class ShimNode(SimProcess):
             digest=entry.digest,
             certificate=certificate,
             spawner=self.name,
-            signature=self._signer.sign(unsigned.canonical()),
+            signature=signature,
         )
+        seed_cached_digest(execute, signature.message_digest)
         spawn_cost = self._config.spawn_api_cost * len(regions) + self._costs.ds_sign
         self.process(spawn_cost, lambda: self._invoke_cloud(execute, regions, delay))
 

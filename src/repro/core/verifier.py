@@ -166,7 +166,9 @@ class Verifier(SimProcess):
     def _handle_verify(self, message: VerifyMsg, sender: str) -> None:
         if message.executor != sender or message.signature is None:
             return
-        if not self._signer.verify(message.unsigned().canonical(), message.signature):
+        # The canonical form ignores the signature, so the digest memoised at
+        # signing time is reused here — no re-serialisation of the batch.
+        if not self._signer.verify(message, message.signature):
             return
         seq = message.seq
         if seq in self._validated:
@@ -181,9 +183,13 @@ class Verifier(SimProcess):
             self._ignored_verify += 1
             return
         state.distinct_executors.add(sender)
-        state.representative = state.representative or message
-        for txn in message.batch.transactions:
-            self._request_to_seq.setdefault(txn.request_id, seq)
+        if state.representative is None:
+            state.representative = message
+            # Map this batch's requests once per sequence number; further
+            # VERIFYs for the same seq carry the same (shared) batch.
+            request_to_seq = self._request_to_seq
+            for txn in message.batch.transactions:
+                request_to_seq.setdefault(txn.request_id, seq)
         if state.timer is None:
             state.timer = self.set_timer(self._quorum_timeout, self._on_quorum_timeout, seq)
         if self._votes.add(message.match_key, sender):
@@ -214,26 +220,24 @@ class Verifier(SimProcess):
         # The unit of concurrency control is the whole batch: every transaction
         # is validated against the storage state *before* this sequence number
         # is applied (executors executed the batch against that same state), so
-        # transactions inside one batch never abort each other.
-        batch_keys = {
-            key
-            for txn_result in message.result.txn_results
-            for key in txn_result.read_versions
-        }
-        snapshot = self._store.current_versions(batch_keys)
+        # transactions inside one batch never abort each other.  Honest
+        # executors observe exactly the batch's key set (memoised on the
+        # batch), so snapshotting it covers every reported read version; a
+        # fabricated version for a key outside the batch reads as None below
+        # and the transaction aborts.
+        snapshot = self._store.current_versions(message.batch.sorted_keys)
+        # dict-items views compare set-wise in C: the subset check below is
+        # exactly "every reported (key, version) pair matches the snapshot".
+        snapshot_items = snapshot.items()
         pending_writes: List[Dict[str, str]] = []
         for txn_result in message.result.txn_results:
-            if all(
-                snapshot.get(key) == version
-                for key, version in txn_result.read_versions.items()
-            ):
+            if txn_result.read_versions.items() <= snapshot_items:
                 pending_writes.append(txn_result.writes)
                 committed_ids.append(txn_result.txn_id)
                 write_keys += len(txn_result.writes)
             else:
                 aborted_ids.append(txn_result.txn_id)
-        for writes in pending_writes:
-            self._store.apply_writes(writes)
+        self._store.apply_write_sets(pending_writes)
         committed_set = set(committed_ids)
         aborted_set = set(aborted_ids)
         self._committed_txns += len(committed_ids)

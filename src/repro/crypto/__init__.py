@@ -17,21 +17,36 @@ the MAC-vs-DS and certificate-size trade-offs discussed in the paper survive
 in the performance results.
 """
 
-from repro.crypto.hashing import digest
+from repro.crypto.hashing import cached_digest, digest, seed_cached_digest
 from repro.crypto.keys import KeyPair, KeyStore
-from repro.crypto.signatures import MacAuthenticator, Signature, SignatureService, SignedMessage
+from repro.crypto.signatures import (
+    CryptoBackend,
+    FastCryptoBackend,
+    MacAuthenticator,
+    RealCryptoBackend,
+    Signature,
+    SignatureService,
+    SignedMessage,
+    resolve_backend,
+)
 from repro.crypto.threshold import ThresholdSignature, ThresholdSigner
 from repro.crypto.costs import CryptoCostModel
 
 __all__ = [
+    "CryptoBackend",
     "CryptoCostModel",
+    "FastCryptoBackend",
     "KeyPair",
     "KeyStore",
     "MacAuthenticator",
+    "RealCryptoBackend",
     "Signature",
     "SignatureService",
     "SignedMessage",
     "ThresholdSignature",
     "ThresholdSigner",
+    "cached_digest",
     "digest",
+    "resolve_backend",
+    "seed_cached_digest",
 ]

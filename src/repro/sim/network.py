@@ -108,6 +108,12 @@ class Endpoint:
 class Network:
     """Message transport between simulated endpoints."""
 
+    #: Minimum extra delay of a fault-injected duplicate delivery beyond the
+    #: original one.  Without it a zero-latency link would schedule the
+    #: duplicate at exactly the original delivery time (``0 * 1.5 == 0``),
+    #: making the "late duplicate" indistinguishable from a double-send.
+    MIN_DUPLICATE_OFFSET = 1e-6
+
     def __init__(
         self,
         sim: Simulator,
@@ -165,27 +171,30 @@ class Network:
 
     def send(self, src: str, dst: str, payload: Any, size_bytes: int = 0) -> None:
         """Send ``payload`` from ``src`` to ``dst`` applying the fault plan."""
-        if src not in self._endpoints:
+        endpoints = self._endpoints
+        sender = endpoints.get(src)
+        if sender is None:
             raise SimulationError(f"unknown sender endpoint {src!r}")
         self._messages_sent += 1
         self._bytes_sent += size_bytes
-        if dst not in self._endpoints:
+        receiver = endpoints.get(dst)
+        if receiver is None:
             # The destination crashed or was never registered: the message is lost.
             self._messages_dropped += 1
             return
-        if self._faults.is_partitioned(src, dst) or self._rng.chance(self._faults.drop_probability):
+        faults = self._faults
+        if faults.is_partitioned(src, dst) or self._rng.chance(faults.drop_probability):
             self._messages_dropped += 1
             return
-        delay = self._latency.one_way_delay(
-            self._endpoints[src].region,
-            self._endpoints[dst].region,
-            size_bytes,
-            self._rng,
-        )
-        delay += self._faults.extra_delay
-        self._sim.schedule(delay, self._deliver, src, dst, payload)
-        if self._rng.chance(self._faults.duplicate_probability):
-            self._sim.schedule(delay * 1.5, self._deliver, src, dst, payload)
+        delay = self._latency.one_way_delay(sender.region, receiver.region, size_bytes, self._rng)
+        delay += faults.extra_delay
+        self._sim.schedule_fast(delay, self._deliver, src, dst, payload)
+        if self._rng.chance(faults.duplicate_probability):
+            # The duplicate travels the wire too: schedule it strictly after
+            # the original delivery and account for its bytes.
+            duplicate_delay = max(delay * 1.5, delay + self.MIN_DUPLICATE_OFFSET)
+            self._bytes_sent += size_bytes
+            self._sim.schedule_fast(duplicate_delay, self._deliver, src, dst, payload)
 
     def broadcast(self, src: str, dsts, payload: Any, size_bytes: int = 0) -> None:
         """Send the same payload to every destination in ``dsts``."""

@@ -77,7 +77,8 @@ class CpuResource:
     def _start(self, service_time: float, on_done: Callable[[], Any]) -> None:
         self._busy += 1
         self._busy_time += service_time
-        self._sim.schedule(service_time, self._finish, on_done)
+        # Job completions are never cancelled: take the kernel's fast path.
+        self._sim.schedule_fast(service_time, self._finish, on_done)
 
     def _finish(self, on_done: Callable[[], Any]) -> None:
         self._busy -= 1

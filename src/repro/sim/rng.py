@@ -35,6 +35,13 @@ class DeterministicRNG:
     def __init__(self, seed: int) -> None:
         self._seed = seed
         self._random = random.Random(seed)
+        # Bind the hottest draws straight to the underlying generator: the
+        # workload generator calls randint hundreds of thousands of times per
+        # simulated second, and the wrapper frame is pure overhead.  The
+        # instance attributes shadow the identically-behaved methods below.
+        self.randint = self._random.randint
+        self.random = self._random.random
+        self.uniform = self._random.uniform
 
     @property
     def seed(self) -> int:
@@ -58,6 +65,29 @@ class DeterministicRNG:
 
     def randint(self, low: int, high: int) -> int:
         return self._random.randint(low, high)
+
+    def bounded_int_fn(self, width: int):
+        """A zero-argument sampler equivalent to ``randint(0, width - 1)``.
+
+        Replicates CPython's ``Random._randbelow_with_getrandbits`` rejection
+        loop exactly — the same ``getrandbits`` calls in the same order — so
+        the draw *sequence* is bit-identical to calling :meth:`randint`, while
+        skipping the three stdlib wrapper frames per draw.  The workload
+        generator pre-builds one sampler per constant bound (partition size,
+        hot-key count, value range) on its hottest path.
+        """
+        if width <= 0:
+            raise ValueError("width must be positive")
+        getrandbits = self._random.getrandbits
+        bits = width.bit_length()
+
+        def draw() -> int:
+            value = getrandbits(bits)
+            while value >= width:
+                value = getrandbits(bits)
+            return value
+
+        return draw
 
     def choice(self, options: Sequence[T]) -> T:
         return self._random.choice(options)

@@ -44,11 +44,24 @@ class LatencySummary:
 
 
 class LatencyRecorder:
-    """Records per-transaction latency samples."""
+    """Records per-transaction latency samples.
+
+    Percentiles are exact but maintained *incrementally*: the recorder keeps
+    a sorted prefix plus a buffer of samples recorded since the last
+    ``summary()`` call, and each summary merges only the new buffer into the
+    sorted prefix (sorting the small buffer, then a linear merge).  Callers
+    that poll ``summary()`` during a run — progress reporting, adaptive
+    experiments — therefore pay for the new samples only, instead of
+    re-sorting the full history every time.  Min/max are O(1) streaming
+    aggregates.
+    """
 
     def __init__(self, warmup: float = 0.0) -> None:
         self._warmup = warmup
-        self._samples: List[float] = []
+        self._sorted: List[float] = []
+        self._unsorted: List[float] = []
+        self._min = math.inf
+        self._max = -math.inf
 
     @property
     def warmup(self) -> float:
@@ -58,27 +71,57 @@ class LatencyRecorder:
         """Record a completed transaction if it started after the warm-up."""
         if start_time < self._warmup:
             return
-        self._samples.append(max(0.0, end_time - start_time))
+        self.record_value(end_time - start_time)
 
     def record_value(self, latency: float) -> None:
-        self._samples.append(max(0.0, latency))
+        value = latency if latency > 0.0 else 0.0
+        self._unsorted.append(value)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
 
     @property
     def samples(self) -> List[float]:
-        return list(self._samples)
+        return self._sorted + self._unsorted
+
+    def _merged(self) -> List[float]:
+        """Fold buffered samples into the sorted prefix and return it."""
+        buffered = self._unsorted
+        if buffered:
+            buffered.sort()
+            ordered = self._sorted
+            if not ordered or buffered[0] >= ordered[-1]:
+                ordered.extend(buffered)
+            else:
+                merged: List[float] = []
+                index = 0
+                total = len(ordered)
+                for value in buffered:
+                    while index < total and ordered[index] <= value:
+                        merged.append(ordered[index])
+                        index += 1
+                    merged.append(value)
+                merged.extend(ordered[index:])
+                self._sorted = merged
+            self._unsorted = []
+        return self._sorted
 
     def summary(self) -> LatencySummary:
-        if not self._samples:
+        ordered = self._merged()
+        if not ordered:
             return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        ordered = sorted(self._samples)
+        count = len(ordered)
         return LatencySummary(
-            count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            count=count,
+            # Summed over the sorted list (not the streaming accumulator) so
+            # the mean is bit-identical to the pre-optimisation full re-sort.
+            mean=sum(ordered) / count,
             p50=_percentile(ordered, 0.50),
             p95=_percentile(ordered, 0.95),
             p99=_percentile(ordered, 0.99),
-            minimum=ordered[0],
-            maximum=ordered[-1],
+            minimum=self._min,
+            maximum=self._max,
         )
 
 

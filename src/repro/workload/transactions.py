@@ -14,6 +14,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+from repro.perf import PERF
+
 
 @dataclass(frozen=True)
 class Operation:
@@ -47,23 +49,52 @@ class Transaction:
     origin: str = ""
     request_id: str = ""
 
+    # The read/write sets and the canonical form of a frozen transaction are
+    # immutable, yet they are recomputed on every access across the protocol's
+    # hot paths (conflict planning, storage reads, request/batch hashing).
+    # They are memoised on the instance; frozen dataclasses still carry a
+    # ``__dict__``, so ``object.__setattr__`` works.
+
     @property
     def read_set(self) -> FrozenSet[str]:
-        return frozenset(op.key for op in self.operations if not op.is_write)
+        try:
+            return self._read_set
+        except AttributeError:
+            cached = frozenset(op.key for op in self.operations if not op.is_write)
+            object.__setattr__(self, "_read_set", cached)
+            return cached
 
     @property
     def write_set(self) -> FrozenSet[str]:
-        return frozenset(op.key for op in self.operations if op.is_write)
+        try:
+            return self._write_set
+        except AttributeError:
+            cached = frozenset(op.key for op in self.operations if op.is_write)
+            object.__setattr__(self, "_write_set", cached)
+            return cached
 
     @property
     def keys(self) -> FrozenSet[str]:
-        return self.read_set | self.write_set
+        try:
+            return self._keys
+        except AttributeError:
+            # Computed straight from the operations (== read_set | write_set)
+            # so the hot execution path doesn't materialise both sub-sets.
+            cached = frozenset(op.key for op in self.operations)
+            object.__setattr__(self, "_keys", cached)
+            return cached
 
     def canonical(self) -> str:
-        ops = ";".join(
-            f"{'W' if op.is_write else 'R'}:{op.key}:{op.value or ''}" for op in self.operations
-        )
-        return f"txn:{self.txn_id}:{self.client_id}:{ops}:{self.execution_seconds}"
+        try:
+            return self._canonical
+        except AttributeError:
+            ops = ";".join(
+                f"{'W' if op.is_write else 'R'}:{op.key}:{op.value or ''}"
+                for op in self.operations
+            )
+            cached = f"txn:{self.txn_id}:{self.client_id}:{ops}:{self.execution_seconds}"
+            object.__setattr__(self, "_canonical", cached)
+            return cached
 
 
 def transactions_conflict(first: Transaction, second: Transaction) -> bool:
@@ -88,23 +119,60 @@ class TransactionBatch:
     def __len__(self) -> int:
         return len(self.transactions)
 
+    # Like Transaction, batch-level aggregates are memoised on the instance:
+    # every executor spawned for a batch (3+ per commit) re-reads them.
+
     @property
     def read_set(self) -> FrozenSet[str]:
-        keys: set = set()
-        for txn in self.transactions:
-            keys |= txn.read_set
-        return frozenset(keys)
+        cached = self.__dict__.get("_read_set")
+        if cached is None:
+            keys: set = set()
+            for txn in self.transactions:
+                keys |= txn.read_set
+            cached = frozenset(keys)
+            object.__setattr__(self, "_read_set", cached)
+        return cached
 
     @property
     def write_set(self) -> FrozenSet[str]:
-        keys: set = set()
-        for txn in self.transactions:
-            keys |= txn.write_set
-        return frozenset(keys)
+        cached = self.__dict__.get("_write_set")
+        if cached is None:
+            keys: set = set()
+            for txn in self.transactions:
+                keys |= txn.write_set
+            cached = frozenset(keys)
+            object.__setattr__(self, "_write_set", cached)
+        return cached
 
     @property
     def keys(self) -> FrozenSet[str]:
-        return self.read_set | self.write_set
+        cached = self.__dict__.get("_keys")
+        if cached is None:
+            # One pass over all operations (== read_set | write_set) without
+            # materialising 2 x batch_size intermediate frozensets.
+            cached = frozenset(
+                op.key for txn in self.transactions for op in txn.operations
+            )
+            object.__setattr__(self, "_keys", cached)
+        return cached
+
+    @property
+    def sorted_keys(self) -> Tuple[str, ...]:
+        """The batch's keys in sorted order (the storage-read request shape)."""
+        cached = self.__dict__.get("_sorted_keys")
+        if cached is None:
+            cached = tuple(sorted(self.keys))
+            object.__setattr__(self, "_sorted_keys", cached)
+        return cached
+
+    @property
+    def operation_count(self) -> int:
+        """Total operations across the batch (drives per-operation CPU cost)."""
+        cached = self.__dict__.get("_operation_count")
+        if cached is None:
+            cached = sum(len(txn.operations) for txn in self.transactions)
+            object.__setattr__(self, "_operation_count", cached)
+        return cached
 
     @property
     def execution_seconds(self) -> float:
@@ -115,9 +183,14 @@ class TransactionBatch:
         so the batch-level cost is the largest per-transaction requirement,
         not the sum.
         """
-        if not self.transactions:
-            return 0.0
-        return max(txn.execution_seconds for txn in self.transactions)
+        cached = self.__dict__.get("_execution_seconds")
+        if cached is None:
+            if not self.transactions:
+                cached = 0.0
+            else:
+                cached = max(txn.execution_seconds for txn in self.transactions)
+            object.__setattr__(self, "_execution_seconds", cached)
+        return cached
 
     @property
     def rw_sets_known(self) -> bool:
@@ -131,7 +204,13 @@ class TransactionBatch:
         return False
 
     def canonical(self) -> str:
-        return f"batch:{self.batch_id}:" + "|".join(txn.canonical() for txn in self.transactions)
+        cached = self.__dict__.get("_canonical")
+        if cached is None:
+            cached = f"batch:{self.batch_id}:" + "|".join(
+                txn.canonical() for txn in self.transactions
+            )
+            object.__setattr__(self, "_canonical", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -172,6 +251,51 @@ class ExecutionResult:
         return None
 
 
+def execute_batch_cached(
+    batch: TransactionBatch,
+    read_values: Mapping[str, str],
+    read_versions: Mapping[str, int],
+    snapshot_token: int = -1,
+) -> ExecutionResult:
+    """Memoising wrapper around :func:`execute_batch`.
+
+    Honest execution is a pure function of the batch and the storage state it
+    observed, and a key's value is determined by its version (versions bump on
+    every write).  The paper spawns ``3f_E + 1`` executors per committed
+    batch, so in the common race-free case the same (batch, versions) pair is
+    executed several times — the memo, stored on the (shared) batch instance,
+    collapses those to one real execution.  Executors that observed *different*
+    versions (a racing commit) miss the memo and execute for real, preserving
+    the conflict/abort behaviour bit-for-bit.  Byzantine result corruption
+    happens *after* this call, so it never pollutes the memo.
+    """
+    memo = batch.__dict__.get("_execution_memo")
+    if memo is None:
+        memo = {}
+        object.__setattr__(batch, "_execution_memo", memo)
+    # Two-level key: a non-negative snapshot token identifies the exact store
+    # state the read observed (O(1) hit, no per-key work).  Tokens churn on
+    # *any* store write, though, so on a token miss fall back to the observed
+    # versions themselves — executors whose reads straddled an unrelated
+    # commit still share one execution.  A spurious mismatch merely
+    # re-executes, which is always correct.
+    if snapshot_token >= 0:
+        result = memo.get(snapshot_token)
+        if result is not None:
+            PERF.batch_execution_cache_hits += 1
+            return result
+    versions_key = tuple(read_versions.items())
+    result = memo.get(versions_key)
+    if result is None:
+        result = execute_batch(batch, read_values, read_versions)
+        memo[versions_key] = result
+    else:
+        PERF.batch_execution_cache_hits += 1
+    if snapshot_token >= 0:
+        memo[snapshot_token] = result
+    return result
+
+
 def execute_batch(
     batch: TransactionBatch,
     read_values: Mapping[str, str],
@@ -184,30 +308,44 @@ def execute_batch(
     :class:`ExecutionResult` objects (and byzantine executors that fabricate
     results will not match them).
     """
-    hasher = hashlib.sha256()
-    hasher.update(batch.batch_id.encode("utf-8"))
+    PERF.batch_executions += 1
+    # The digest chunks are accumulated and hashed in one pass; SHA-256 is a
+    # streaming hash, so the digest is identical to updating chunk by chunk.
+    chunks: List[bytes] = [batch.batch_id.encode("utf-8")]
+    append_chunk = chunks.append
+    values_get = read_values.get
+    versions_get = read_versions.get
     txn_results: List[TransactionResult] = []
     for txn in batch.transactions:
+        txn_id = txn.txn_id
         writes: Dict[str, str] = {}
         for op in txn.operations:
-            current = read_values.get(op.key, "")
-            hasher.update(f"{op.key}={current}".encode("utf-8"))
+            key = op.key
+            current = values_get(key, "")
+            append_chunk(f"{key}={current}".encode("utf-8"))
             if op.is_write:
-                new_value = f"{op.value}:{txn.txn_id}"
-                writes[op.key] = new_value
-                hasher.update(new_value.encode("utf-8"))
-        observed_versions = {key: read_versions.get(key, 0) for key in txn.keys}
+                new_value = f"{op.value}:{txn_id}"
+                writes[key] = new_value
+                append_chunk(new_value.encode("utf-8"))
         # The digest covers the observed versions too: VERIFY messages only
         # "match" (Figure 3, Line 23) when the executors saw the same storage
         # state, which is what the verifier's concurrency check relies on.
-        for key in sorted(observed_versions):
-            hasher.update(f"{key}@{observed_versions[key]}".encode("utf-8"))
-        txn_results.append(
-            TransactionResult(txn_id=txn.txn_id, writes=writes, read_versions=observed_versions)
-        )
+        observed_versions: Dict[str, int] = {}
+        for key in sorted(txn.keys):
+            version = versions_get(key, 0)
+            observed_versions[key] = version
+            append_chunk(f"{key}@{version}".encode("utf-8"))
+        # Fast frozen-dataclass construction (see YCSBWorkload): this runs
+        # once per transaction per observed snapshot.
+        txn_result = object.__new__(TransactionResult)
+        result_dict = txn_result.__dict__
+        result_dict["txn_id"] = txn_id
+        result_dict["writes"] = writes
+        result_dict["read_versions"] = observed_versions
+        txn_results.append(txn_result)
     return ExecutionResult(
         batch_id=batch.batch_id,
-        result_digest=hasher.hexdigest(),
+        result_digest=hashlib.sha256(b"".join(chunks)).hexdigest(),
         txn_results=tuple(txn_results),
     )
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import WorkloadError
 from repro.sim.rng import DeterministicRNG
@@ -68,6 +68,24 @@ class YCSBWorkload:
         # Per-client private key ranges guarantee non-conflicting transactions
         # from different clients never touch the same key.
         self._partition_size = max(1, config.num_records // config.clients)
+        # Key-selection is skewed (zipfian / per-client partitions), so the
+        # same key strings are formatted over and over; memoise them.
+        self._key_strings: dict = {}
+        self._client_ids = [f"client-{index}" for index in range(config.clients)]
+        # Pre-built samplers for the constant bounds of this workload: each is
+        # draw-for-draw identical to randint (see DeterministicRNG), minus the
+        # stdlib wrapper frames — next_transaction draws ~6 of these per call.
+        self._draw_client = self._rng.bounded_int_fn(config.clients)
+        self._draw_hot = self._rng.bounded_int_fn(config.hot_keys)
+        self._draw_offset = self._rng.bounded_int_fn(self._partition_size)
+        self._draw_value = self._rng.bounded_int_fn(10**9 + 1)
+        # Per-transaction constants, hoisted out of the generation loop.
+        self._writes_target = round(
+            config.operations_per_transaction * config.write_fraction
+        )
+        self._private_modulus = max(1, config.num_records - config.hot_keys)
+        # conflict_fraction == 0 means chance() never draws; skip the call.
+        self._has_conflicts = config.conflict_fraction > 0.0
 
     @property
     def config(self) -> YCSBConfig:
@@ -78,22 +96,43 @@ class YCSBWorkload:
 
     # ------------------------------------------------------------- transactions
 
-    def next_transaction(self, client_index: Optional[int] = None) -> Transaction:
-        """Generate the next transaction, optionally pinned to a client."""
+    def next_transaction(
+        self,
+        client_index: Optional[int] = None,
+        origin: str = "",
+        request_id: str = "",
+    ) -> Transaction:
+        """Generate the next transaction, optionally pinned to a client.
+
+        ``origin``/``request_id`` let callers stamp the delivery metadata at
+        construction time instead of rebuilding the frozen transaction with
+        ``dataclasses.replace`` afterwards (the client hot path).
+        """
         config = self._config
         if client_index is None:
-            client_index = self._rng.randint(0, config.clients - 1)
-        client_id = f"client-{client_index}"
+            client_index = self._draw_client()
+        if client_index < len(self._client_ids):
+            client_id = self._client_ids[client_index]
+        else:
+            client_id = f"client-{client_index}"
         txn_id = f"txn-{next(self._txn_counter)}"
-        conflicting = self._rng.chance(config.conflict_fraction)
+        conflicting = self._has_conflicts and self._rng.chance(config.conflict_fraction)
         operations = self._build_operations(client_index, conflicting)
-        return Transaction(
-            txn_id=txn_id,
-            client_id=client_id,
-            operations=tuple(operations),
-            execution_seconds=config.execution_seconds,
-            rw_sets_known=config.rw_sets_known,
-        )
+        # Fast frozen-dataclass construction: a generated transaction is the
+        # single hottest allocation in a run (batch size x clients per
+        # second), and the frozen __init__'s per-field object.__setattr__
+        # overhead is measurable.  Filling __dict__ directly is equivalent —
+        # dataclass equality/hash read the same attributes.
+        txn = object.__new__(Transaction)
+        txn_dict = txn.__dict__
+        txn_dict["txn_id"] = txn_id
+        txn_dict["client_id"] = client_id
+        txn_dict["operations"] = operations
+        txn_dict["execution_seconds"] = config.execution_seconds
+        txn_dict["rw_sets_known"] = config.rw_sets_known
+        txn_dict["origin"] = origin
+        txn_dict["request_id"] = request_id
+        return txn
 
     def transactions(self, count: int, client_index: Optional[int] = None) -> List[Transaction]:
         return [self.next_transaction(client_index) for _ in range(count)]
@@ -119,26 +158,77 @@ class YCSBWorkload:
 
     # ---------------------------------------------------------------- internals
 
-    def _build_operations(self, client_index: int, conflicting: bool) -> List[Operation]:
+    def _build_operations(self, client_index: int, conflicting: bool) -> Tuple[Operation, ...]:
         config = self._config
+        if not conflicting and config.zipfian_theta <= 0:
+            return self._build_operations_uniform(client_index)
         operations: List[Operation] = []
-        writes_target = round(config.operations_per_transaction * config.write_fraction)
+        append = operations.append
+        writes_target = self._writes_target
         for op_index in range(config.operations_per_transaction):
             is_write = op_index < writes_target
             if conflicting and op_index == 0:
                 # Conflicting transactions contend on the shared hot set, and the
                 # contended operation is always a write so any two of them conflict.
-                key = self._hot_key()
+                key = self._key_string(self._draw_hot())
                 is_write = True
             else:
                 key = self._private_key(client_index)
-            value = self._rng_value() if is_write else None
-            operations.append(Operation(key=key, is_write=is_write, value=value))
-        return operations
+            value = f"val-{self._draw_value()}" if is_write else None
+            # Same fast construction as next_transaction: Operation is frozen,
+            # and ycsb always passes a non-None value for writes, so the
+            # __post_init__ normalisation is a no-op here.
+            op = object.__new__(Operation)
+            op_dict = op.__dict__
+            op_dict["key"] = key
+            op_dict["is_write"] = is_write
+            op_dict["value"] = value
+            append(op)
+        return tuple(operations)
+
+    def _build_operations_uniform(self, client_index: int) -> Tuple[Operation, ...]:
+        """The non-conflicting uniform-key path, fully inlined.
+
+        Identical draws and results to the general loop above — this is the
+        default workload's innermost loop (hundreds of thousands of calls per
+        simulated second), so the key-draw helpers are expanded in place.
+        """
+        config = self._config
+        operations: List[Operation] = []
+        append = operations.append
+        writes_target = self._writes_target
+        start = (client_index * self._partition_size) % config.num_records
+        hot_keys = config.hot_keys
+        modulus = self._private_modulus
+        draw_offset = self._draw_offset
+        draw_value = self._draw_value
+        strings = self._key_strings
+        strings_get = strings.get
+        operation_new = Operation.__new__
+        for op_index in range(config.operations_per_transaction):
+            index = hot_keys + (start + draw_offset()) % modulus
+            key = strings_get(index)
+            if key is None:
+                key = f"user{index}"
+                strings[index] = key
+            is_write = op_index < writes_target
+            op = operation_new(Operation)
+            op_dict = op.__dict__
+            op_dict["key"] = key
+            op_dict["is_write"] = is_write
+            op_dict["value"] = f"val-{draw_value()}" if is_write else None
+            append(op)
+        return tuple(operations)
+
+    def _key_string(self, index: int) -> str:
+        key = self._key_strings.get(index)
+        if key is None:
+            key = f"user{index}"
+            self._key_strings[index] = key
+        return key
 
     def _hot_key(self) -> str:
-        index = self._rng.randint(0, self._config.hot_keys - 1)
-        return f"user{index}"
+        return self._key_string(self._draw_hot())
 
     def _private_key(self, client_index: int) -> str:
         config = self._config
@@ -146,10 +236,15 @@ class YCSBWorkload:
         if config.zipfian_theta > 0:
             offset = self._rng.zipf_index(self._partition_size, config.zipfian_theta)
         else:
-            offset = self._rng.randint(0, self._partition_size - 1)
+            offset = self._draw_offset()
         # Skip the hot range so private keys never collide with hot keys.
-        index = config.hot_keys + (start + offset) % max(1, config.num_records - config.hot_keys)
-        return f"user{index}"
+        index = config.hot_keys + (start + offset) % self._private_modulus
+        strings = self._key_strings
+        key = strings.get(index)
+        if key is None:
+            key = f"user{index}"
+            strings[index] = key
+        return key
 
     def _rng_value(self) -> str:
-        return f"val-{self._rng.randint(0, 10**9)}"
+        return f"val-{self._draw_value()}"
