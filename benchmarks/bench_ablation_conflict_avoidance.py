@@ -7,11 +7,11 @@ lock map avoids most aborts at the cost of delaying conflicting batches.
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
 from repro.core.config import ConflictMode
+from repro.sweep import PointSpec
 
 
 def test_conflict_avoidance_model(benchmark, paper_setup):
@@ -32,29 +32,27 @@ def test_conflict_avoidance_simulated(benchmark, sim_scale):
     """Measured abort rates at 40 % conflicts for both modes."""
 
     def run_points():
-        table = ExperimentTable(
-            name="ablation-conflict-avoidance-simulated",
-            columns=("mode", "committed", "aborted", "abort_rate"),
+        return run_measured_sweep(
+            "ablation-conflict-avoidance-simulated",
+            [
+                PointSpec(
+                    labels={"mode": mode.value},
+                    config={"conflict_mode": mode.value},
+                    workload={"conflict_fraction": 0.4, "rw_sets_known": rw_known},
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for mode, rw_known in (
+                    (ConflictMode.OPTIMISTIC, False),
+                    (ConflictMode.CONFLICT_AVOIDANCE, True),
+                )
+            ],
+            metrics=(
+                ("committed", "committed_txns"),
+                ("aborted", "aborted_txns"),
+                ("abort_rate", "abort_rate"),
+            ),
         )
-        for mode, rw_known in (
-            (ConflictMode.OPTIMISTIC, False),
-            (ConflictMode.CONFLICT_AVOIDANCE, True),
-        ):
-            config = sim_scale.protocol_config(conflict_mode=mode)
-            workload = sim_scale.workload_config(conflict_fraction=0.4, rw_sets_known=rw_known)
-            result = simulate_point(
-                config,
-                workload=workload,
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                mode=mode.value,
-                committed=result.committed_txns,
-                aborted=result.aborted_txns,
-                abort_rate=result.abort_rate,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

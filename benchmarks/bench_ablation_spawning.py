@@ -7,11 +7,11 @@ overhead analytically (Equation 1) and measures it in simulation.
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
 from repro.core.config import SpawnPolicyName
+from repro.sweep import PointSpec
 
 
 def test_spawning_policy_overhead_model(benchmark, paper_setup):
@@ -28,24 +28,22 @@ def test_spawning_policy_simulated(benchmark, sim_scale):
     """Measured executor counts under both policies."""
 
     def run_points():
-        table = ExperimentTable(
-            name="ablation-spawning-simulated",
-            columns=("policy", "spawned_executors", "throughput_txn_s"),
+        return run_measured_sweep(
+            "ablation-spawning-simulated",
+            [
+                PointSpec(
+                    labels={"policy": policy.value},
+                    config={"spawn_policy": policy.value},
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for policy in (SpawnPolicyName.PRIMARY, SpawnPolicyName.DECENTRALIZED)
+            ],
+            metrics=(
+                ("spawned_executors", "spawned_executors"),
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+            ),
         )
-        for policy in (SpawnPolicyName.PRIMARY, SpawnPolicyName.DECENTRALIZED):
-            config = sim_scale.protocol_config(spawn_policy=policy)
-            result = simulate_point(
-                config,
-                workload=sim_scale.workload_config(),
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                policy=policy.value,
-                spawned_executors=result.spawned_executors,
-                throughput_txn_s=result.throughput_txn_per_sec,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

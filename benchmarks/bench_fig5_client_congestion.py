@@ -7,10 +7,10 @@ message-level simulation point for each shim size.
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig5_model_sweep(benchmark, paper_setup):
@@ -38,25 +38,25 @@ def test_fig5_simulated_points(benchmark, sim_scale):
     """Measured (message-level) points: small vs larger shim under load."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig5-simulated-points",
-            columns=("system", "clients", "throughput_txn_s", "latency_s"),
+        return run_measured_sweep(
+            "fig5-simulated-points",
+            [
+                PointSpec(
+                    labels={
+                        "system": f"SERVBFT-{shim_nodes}",
+                        "clients": sim_scale.num_clients,
+                    },
+                    config={"shim_nodes": shim_nodes},
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for shim_nodes in (4, 8)
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("latency_s", "latency.mean"),
+            ),
         )
-        for shim_nodes in (4, 8):
-            config = sim_scale.protocol_config(shim_nodes=shim_nodes)
-            result = simulate_point(
-                config,
-                workload=sim_scale.workload_config(),
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                system=f"SERVBFT-{shim_nodes}",
-                clients=config.num_clients,
-                throughput_txn_s=result.throughput_txn_per_sec,
-                latency_s=result.latency.mean,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

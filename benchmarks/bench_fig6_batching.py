@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig6_batching_model_sweep(benchmark, paper_setup):
@@ -27,24 +27,22 @@ def test_fig6_batching_simulated(benchmark, sim_scale):
     """Measured points with small and medium batches."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig6-batching-simulated",
-            columns=("batch_size", "throughput_txn_s", "latency_s"),
+        return run_measured_sweep(
+            "fig6-batching-simulated",
+            [
+                PointSpec(
+                    labels={"batch_size": batch_size},
+                    config={"batch_size": batch_size},
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for batch_size in (5, 25)
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("latency_s", "latency.mean"),
+            ),
         )
-        for batch_size in (5, 25):
-            config = sim_scale.protocol_config(batch_size=batch_size)
-            result = simulate_point(
-                config,
-                workload=sim_scale.workload_config(),
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                batch_size=batch_size,
-                throughput_txn_s=result.throughput_txn_per_sec,
-                latency_s=result.latency.mean,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig6_conflicts_model_sweep(benchmark, paper_setup):
@@ -26,28 +26,26 @@ def test_fig6_conflicts_simulated(benchmark, sim_scale):
     """Measured points at 0 % and 40 % conflicts (optimistic execution)."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig6-conflicts-simulated",
-            columns=("conflict_pct", "committed", "aborted", "abort_rate"),
+        return run_measured_sweep(
+            "fig6-conflicts-simulated",
+            [
+                PointSpec(
+                    labels={"conflict_pct": percent},
+                    workload={
+                        "conflict_fraction": percent / 100.0,
+                        "rw_sets_known": False,
+                    },
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for percent in (0, 40)
+            ],
+            metrics=(
+                ("committed", "committed_txns"),
+                ("aborted", "aborted_txns"),
+                ("abort_rate", "abort_rate"),
+            ),
         )
-        for percent in (0, 40):
-            config = sim_scale.protocol_config()
-            workload = sim_scale.workload_config(
-                conflict_fraction=percent / 100.0, rw_sets_known=False
-            )
-            result = simulate_point(
-                config,
-                workload=workload,
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                conflict_pct=percent,
-                committed=result.committed_txns,
-                aborted=result.aborted_txns,
-                abort_rate=result.abort_rate,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig6_cores_model_sweep(benchmark, paper_setup):
@@ -25,26 +25,28 @@ def test_fig6_cores_simulated(benchmark, sim_scale):
     """Measured points with 2 and 16 cores per shim node under load."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig6-cores-simulated",
-            columns=("cores", "throughput_txn_s", "latency_s"),
+        return run_measured_sweep(
+            "fig6-cores-simulated",
+            [
+                PointSpec(
+                    labels={"cores": cores},
+                    config={
+                        "shim_cores": cores,
+                        "num_clients": 2000,
+                        "client_groups": 8,
+                        "batch_size": 100,
+                    },
+                    workload={"clients": 2000},
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for cores in (2, 16)
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("latency_s", "latency.mean"),
+            ),
         )
-        for cores in (2, 16):
-            config = sim_scale.protocol_config(
-                shim_cores=cores, num_clients=2000, client_groups=8, batch_size=100
-            )
-            result = simulate_point(
-                config,
-                workload=sim_scale.workload_config(clients=2000),
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                cores=cores,
-                throughput_txn_s=result.throughput_txn_per_sec,
-                latency_s=result.latency.mean,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig6_execution_model_sweep(benchmark, paper_setup):
@@ -26,24 +26,22 @@ def test_fig6_execution_simulated(benchmark, sim_scale):
     """Measured points with no compute phase and with a 200 ms compute phase."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig6-execution-simulated",
-            columns=("execution_s", "throughput_txn_s", "latency_s"),
+        return run_measured_sweep(
+            "fig6-execution-simulated",
+            [
+                PointSpec(
+                    labels={"execution_s": seconds},
+                    workload={"execution_seconds": seconds},
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for seconds in (0.0, 0.2)
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("latency_s", "latency.mean"),
+            ),
         )
-        for seconds in (0.0, 0.2):
-            config = sim_scale.protocol_config()
-            result = simulate_point(
-                config,
-                workload=sim_scale.workload_config(execution_seconds=seconds),
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                execution_s=seconds,
-                throughput_txn_s=result.throughput_txn_per_sec,
-                latency_s=result.latency.mean,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

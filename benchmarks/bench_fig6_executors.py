@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig6_executors_model_sweep(benchmark, paper_setup):
@@ -25,27 +25,26 @@ def test_fig6_executors_simulated(benchmark, sim_scale):
     """Measured points with 3 and 7 executors."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig6-executors-simulated",
-            columns=("executors", "throughput_txn_s", "latency_s", "cloud_invocations"),
+        return run_measured_sweep(
+            "fig6-executors-simulated",
+            [
+                PointSpec(
+                    labels={"executors": executors},
+                    config={
+                        "num_executors": executors,
+                        "num_executor_regions": min(3, executors),
+                    },
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for executors in (3, 7)
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("latency_s", "latency.mean"),
+                ("cloud_invocations", "cloud_invocations"),
+            ),
         )
-        for executors in (3, 7):
-            config = sim_scale.protocol_config(
-                num_executors=executors, num_executor_regions=min(3, executors)
-            )
-            result = simulate_point(
-                config,
-                workload=sim_scale.workload_config(),
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                executors=executors,
-                throughput_txn_s=result.throughput_txn_per_sec,
-                latency_s=result.latency.mean,
-                cloud_invocations=result.cloud_invocations,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

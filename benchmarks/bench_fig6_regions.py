@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig6_regions_model_sweep(benchmark, paper_setup):
@@ -26,24 +26,22 @@ def test_fig6_regions_simulated(benchmark, sim_scale):
     """Measured points: 5 executors spread over 1 vs 5 regions."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig6-regions-simulated",
-            columns=("regions", "throughput_txn_s", "latency_s"),
+        return run_measured_sweep(
+            "fig6-regions-simulated",
+            [
+                PointSpec(
+                    labels={"regions": regions},
+                    config={"num_executors": 5, "num_executor_regions": regions},
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for regions in (1, 5)
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("latency_s", "latency.mean"),
+            ),
         )
-        for regions in (1, 5):
-            config = sim_scale.protocol_config(num_executors=5, num_executor_regions=regions)
-            result = simulate_point(
-                config,
-                workload=sim_scale.workload_config(),
-                duration=sim_scale.duration,
-                warmup=sim_scale.warmup,
-            )
-            table.add(
-                regions=regions,
-                throughput_txn_s=result.throughput_txn_per_sec,
-                latency_s=result.latency.mean,
-            )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

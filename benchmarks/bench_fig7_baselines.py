@@ -6,16 +6,10 @@ vs NOSHIM, for shim sizes 4–128.
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
-from repro.baselines import (
-    PBFTReplicatedSimulation,
-    build_noshim_simulation,
-    build_serverless_cft_simulation,
-)
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable
-from repro.core.runner import ServerlessBFTSimulation
+from repro.sweep import PointSpec
 
 
 def test_fig7_model_sweep(benchmark, paper_setup):
@@ -48,36 +42,32 @@ def test_fig7_simulated_points(benchmark, sim_scale):
     """Measured points: all four systems on a 4-node shim."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig7-simulated-points",
-            columns=("system", "throughput_txn_s", "latency_s"),
-        )
-        # Smaller than the usual measured scale: this point runs four full
+        # Smaller than the usual measured scale: this sweep runs four full
         # deployments back to back.
-        config = sim_scale.protocol_config(shim_nodes=4, num_clients=100, client_groups=4)
-        workload = sim_scale.workload_config(clients=100)
-        duration, warmup = 1.0, 0.2
-
-        runs = {
-            "SERVERLESSBFT": ServerlessBFTSimulation(config, workload=workload, tracer_enabled=False),
-            "SERVERLESSCFT": build_serverless_cft_simulation(config, workload, tracer_enabled=False),
-            "NOSHIM": build_noshim_simulation(config, workload, tracer_enabled=False),
-        }
-        for label, simulation in runs.items():
-            result = simulation.run(duration=duration, warmup=warmup)
-            table.add(
-                system=label,
-                throughput_txn_s=result.throughput_txn_per_sec,
-                latency_s=result.latency.mean,
-            )
-        replicated = PBFTReplicatedSimulation(config, workload=workload, tracer_enabled=False)
-        result = replicated.run(duration=duration, warmup=warmup)
-        table.add(
-            system="PBFT",
-            throughput_txn_s=result.throughput_txn_per_sec,
-            latency_s=result.latency.mean,
+        shared = {"shim_nodes": 4, "num_clients": 100, "client_groups": 4}
+        return run_measured_sweep(
+            "fig7-simulated-points",
+            [
+                PointSpec(
+                    labels={"system": label},
+                    system=system,
+                    config=shared,
+                    workload={"clients": 100},
+                    duration=1.0,
+                    warmup=0.2,
+                )
+                for label, system in (
+                    ("SERVERLESSBFT", "serverless_bft"),
+                    ("SERVERLESSCFT", "serverless_cft"),
+                    ("NOSHIM", "noshim"),
+                    ("PBFT", "pbft_replicated"),
+                )
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("latency_s", "latency.mean"),
+            ),
         )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

@@ -7,11 +7,10 @@ an edge-only PBFT shim of 32 nodes with 1, 8, or 16 execution threads.
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, run_measured_sweep
 
-from repro.baselines import PBFTReplicatedSimulation
 from repro.bench import experiments
-from repro.bench.harness import ExperimentTable, simulate_point
+from repro.sweep import PointSpec
 
 
 def test_fig8_model_sweep(benchmark, paper_setup):
@@ -40,30 +39,28 @@ def test_fig8_simulated_points(benchmark, sim_scale):
     """Measured points: 100 ms execution, serverless vs edge-only (1 thread)."""
 
     def run_points():
-        table = ExperimentTable(
-            name="fig8-simulated-points",
-            columns=("system", "throughput_txn_s", "cents_per_ktxn"),
+        return run_measured_sweep(
+            "fig8-simulated-points",
+            [
+                PointSpec(
+                    labels={"system": label},
+                    system=system,
+                    config={"shim_nodes": 4},
+                    workload={"execution_seconds": 0.1},
+                    execution_threads=threads,
+                    duration=sim_scale.duration,
+                    warmup=sim_scale.warmup,
+                )
+                for label, system, threads in (
+                    ("SERVERLESSBFT", "serverless_bft", 16),
+                    ("PBFT-1-ET", "pbft_replicated", 1),
+                )
+            ],
+            metrics=(
+                ("throughput_txn_s", "throughput_txn_per_sec"),
+                ("cents_per_ktxn", "cents_per_kilo_txn"),
+            ),
         )
-        config = sim_scale.protocol_config(shim_nodes=4)
-        workload = sim_scale.workload_config(execution_seconds=0.1)
-        result = simulate_point(
-            config, workload=workload, duration=sim_scale.duration, warmup=sim_scale.warmup
-        )
-        table.add(
-            system="SERVERLESSBFT",
-            throughput_txn_s=result.throughput_txn_per_sec,
-            cents_per_ktxn=result.cents_per_kilo_txn,
-        )
-        replicated = PBFTReplicatedSimulation(
-            config, workload=workload, execution_threads=1, tracer_enabled=False
-        )
-        result = replicated.run(duration=sim_scale.duration, warmup=sim_scale.warmup)
-        table.add(
-            system="PBFT-1-ET",
-            throughput_txn_s=result.throughput_txn_per_sec,
-            cents_per_ktxn=result.cents_per_kilo_txn,
-        )
-        return table
 
     table = benchmark.pedantic(run_points, rounds=1, iterations=1)
     emit(table)

@@ -12,6 +12,7 @@ import pytest
 
 from repro.bench.defaults import PAPER, SCALE
 from repro.bench.harness import format_table
+from repro.sweep import DEFAULT_METRICS, SweepSpec, run_sweep
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +31,15 @@ def emit(table) -> None:
     """Print an experiment table so it appears in the benchmark output."""
     print()
     print(format_table(table, float_format="{:,.3f}"))
+
+
+def run_measured_sweep(name, points, metrics=DEFAULT_METRICS):
+    """Run measured simulation points through the sweep subsystem.
+
+    Every bench's measured points go through the same execution path as
+    ``python -m repro.sweep`` (resolution, content addressing, execution),
+    so what the benches measure is exactly what sweeps run at scale.
+    """
+    report = run_sweep(SweepSpec(name=name, points=tuple(points)))
+    assert report.failed == 0, report.summary()
+    return report.table(metrics=tuple(metrics))

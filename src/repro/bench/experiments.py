@@ -6,6 +6,11 @@ evaluated with the analytical performance model, which shares all cost
 constants with the message-level simulator; the pytest-benchmark harnesses
 in ``benchmarks/`` add measured simulation points for the configurations
 small enough to simulate and print both.
+
+Grid expansion goes through :class:`repro.sweep.spec.GridSpec` — the same
+declarative grid layer the measured sweeps (``repro.sweep``) use — so model
+sweeps and message-level sweeps share one definition of "a parameter grid"
+(ordering, axis naming, expansion semantics).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.bench.defaults import PAPER, PaperSetup
 from repro.bench.harness import ExperimentTable
 from repro.core.config import ConflictMode, ProtocolConfig
 from repro.perfmodel.model import AnalyticalModel, SystemKind
+from repro.sweep.spec import GridSpec
 from repro.workload.ycsb import YCSBConfig
 
 
@@ -53,16 +59,17 @@ def client_congestion(
         name="fig5-client-congestion",
         columns=("system", "clients", "throughput_txn_s", "latency_s"),
     )
-    for shim in shim_sizes:
-        model = _model(setup, shim)
-        for clients in client_counts:
-            throughput, latency = model.throughput_latency(clients)
-            table.add(
-                system=f"SERVBFT-{shim}",
-                clients=clients,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    models = {shim: _model(setup, shim) for shim in shim_sizes}
+    grid = GridSpec({"shim": shim_sizes, "clients": client_counts})
+    for combo in grid.combinations():
+        shim, clients = combo["shim"], combo["clients"]
+        throughput, latency = models[shim].throughput_latency(clients)
+        table.add(
+            system=f"SERVBFT-{shim}",
+            clients=clients,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -80,21 +87,22 @@ def executor_scaling(
         name="fig6-executor-scaling",
         columns=("system", "executors", "throughput_txn_s", "latency_s"),
     )
-    for shim in shim_sizes:
-        for executors in executor_counts:
-            model = _model(
-                setup,
-                shim,
-                num_executors=executors,
-                num_executor_regions=min(7, executors),
-            )
-            throughput, latency = model.throughput_latency()
-            table.add(
-                system=f"SERVBFT-{shim}",
-                executors=executors,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    grid = GridSpec({"shim": shim_sizes, "executors": executor_counts})
+    for combo in grid.combinations():
+        shim, executors = combo["shim"], combo["executors"]
+        model = _model(
+            setup,
+            shim,
+            num_executors=executors,
+            num_executor_regions=min(7, executors),
+        )
+        throughput, latency = model.throughput_latency()
+        table.add(
+            system=f"SERVBFT-{shim}",
+            executors=executors,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -112,16 +120,17 @@ def batching(
         name="fig6-batching",
         columns=("system", "batch_size", "throughput_txn_s", "latency_s"),
     )
-    for shim in shim_sizes:
-        for batch_size in batch_sizes:
-            model = _model(setup, shim, batch_size=batch_size)
-            throughput, latency = model.throughput_latency()
-            table.add(
-                system=f"SERVBFT-{shim}",
-                batch_size=batch_size,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    grid = GridSpec({"shim": shim_sizes, "batch_size": batch_sizes})
+    for combo in grid.combinations():
+        shim, batch_size = combo["shim"], combo["batch_size"]
+        model = _model(setup, shim, batch_size=batch_size)
+        throughput, latency = model.throughput_latency()
+        table.add(
+            system=f"SERVBFT-{shim}",
+            batch_size=batch_size,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -139,20 +148,21 @@ def expensive_execution(
         name="fig6-expensive-execution",
         columns=("system", "execution_s", "throughput_txn_s", "latency_s"),
     )
-    for shim in shim_sizes:
-        for seconds in execution_seconds:
-            model = _model(
-                setup,
-                shim,
-                workload_overrides={"execution_seconds": seconds},
-            )
-            throughput, latency = model.throughput_latency()
-            table.add(
-                system=f"SERVBFT-{shim}",
-                execution_s=seconds,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    grid = GridSpec({"shim": shim_sizes, "execution_s": execution_seconds})
+    for combo in grid.combinations():
+        shim, seconds = combo["shim"], combo["execution_s"]
+        model = _model(
+            setup,
+            shim,
+            workload_overrides={"execution_seconds": seconds},
+        )
+        throughput, latency = model.throughput_latency()
+        table.add(
+            system=f"SERVBFT-{shim}",
+            execution_s=seconds,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -171,21 +181,22 @@ def region_distribution(
         name="fig6-region-distribution",
         columns=("system", "regions", "throughput_txn_s", "latency_s"),
     )
-    for shim in shim_sizes:
-        for regions in region_counts:
-            model = _model(
-                setup,
-                shim,
-                num_executors=executors,
-                num_executor_regions=regions,
-            )
-            throughput, latency = model.throughput_latency()
-            table.add(
-                system=f"SERVBFT-{shim}",
-                regions=regions,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    grid = GridSpec({"shim": shim_sizes, "regions": region_counts})
+    for combo in grid.combinations():
+        shim, regions = combo["shim"], combo["regions"]
+        model = _model(
+            setup,
+            shim,
+            num_executors=executors,
+            num_executor_regions=regions,
+        )
+        throughput, latency = model.throughput_latency()
+        table.add(
+            system=f"SERVBFT-{shim}",
+            regions=regions,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -203,16 +214,17 @@ def computing_power(
         name="fig6-computing-power",
         columns=("system", "cores", "throughput_txn_s", "latency_s"),
     )
-    for shim in shim_sizes:
-        for cores in core_counts:
-            model = _model(setup, shim, shim_cores=cores)
-            throughput, latency = model.throughput_latency()
-            table.add(
-                system=f"SERVBFT-{shim}",
-                cores=cores,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    grid = GridSpec({"shim": shim_sizes, "cores": core_counts})
+    for combo in grid.combinations():
+        shim, cores = combo["shim"], combo["cores"]
+        model = _model(setup, shim, shim_cores=cores)
+        throughput, latency = model.throughput_latency()
+        table.add(
+            system=f"SERVBFT-{shim}",
+            cores=cores,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -231,21 +243,22 @@ def conflicting_transactions(
         name="fig6-conflicting-transactions",
         columns=("system", "conflict_pct", "throughput_txn_s", "latency_s"),
     )
-    for shim in shim_sizes:
-        for percent in conflict_percentages:
-            model = _model(
-                setup,
-                shim,
-                conflict_mode=conflict_mode,
-                workload_overrides={"conflict_fraction": percent / 100.0, "rw_sets_known": False},
-            )
-            throughput, latency = model.throughput_latency()
-            table.add(
-                system=f"SERVBFT-{shim}",
-                conflict_pct=percent,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    grid = GridSpec({"shim": shim_sizes, "conflict_pct": conflict_percentages})
+    for combo in grid.combinations():
+        shim, percent = combo["shim"], combo["conflict_pct"]
+        model = _model(
+            setup,
+            shim,
+            conflict_mode=conflict_mode,
+            workload_overrides={"conflict_fraction": percent / 100.0, "rw_sets_known": False},
+        )
+        throughput, latency = model.throughput_latency()
+        table.add(
+            system=f"SERVBFT-{shim}",
+            conflict_pct=percent,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -270,16 +283,17 @@ def baseline_comparison(
         name="fig7-baseline-comparison",
         columns=("system", "replicas", "throughput_txn_s", "latency_s"),
     )
-    for label, system in _FIGURE7_SYSTEMS:
-        for replicas in replica_counts:
-            model = _model(setup, replicas, system=system)
-            throughput, latency = model.throughput_latency()
-            table.add(
-                system=label,
-                replicas=replicas,
-                throughput_txn_s=throughput,
-                latency_s=latency,
-            )
+    grid = GridSpec({"system": _FIGURE7_SYSTEMS, "replicas": replica_counts})
+    for combo in grid.combinations():
+        (label, system), replicas = combo["system"], combo["replicas"]
+        model = _model(setup, replicas, system=system)
+        throughput, latency = model.throughput_latency()
+        table.add(
+            system=label,
+            replicas=replicas,
+            throughput_txn_s=throughput,
+            latency_s=latency,
+        )
     return table
 
 
@@ -370,22 +384,28 @@ def conflict_avoidance_ablation(
         name="ablation-conflict-avoidance",
         columns=("conflict_pct", "mode", "throughput_txn_s", "abort_fraction"),
     )
-    for percent in conflict_percentages:
-        for mode in (ConflictMode.OPTIMISTIC, ConflictMode.CONFLICT_AVOIDANCE):
-            model = _model(
-                setup,
-                shim_nodes,
-                conflict_mode=mode,
-                workload_overrides={
-                    "conflict_fraction": percent / 100.0,
-                    "rw_sets_known": mode is ConflictMode.CONFLICT_AVOIDANCE,
-                },
-            )
-            throughput, _latency = model.throughput_latency()
-            table.add(
-                conflict_pct=percent,
-                mode=mode.value,
-                throughput_txn_s=throughput,
-                abort_fraction=model._abort_fraction(),
-            )
+    grid = GridSpec(
+        {
+            "conflict_pct": conflict_percentages,
+            "mode": (ConflictMode.OPTIMISTIC, ConflictMode.CONFLICT_AVOIDANCE),
+        }
+    )
+    for combo in grid.combinations():
+        percent, mode = combo["conflict_pct"], combo["mode"]
+        model = _model(
+            setup,
+            shim_nodes,
+            conflict_mode=mode,
+            workload_overrides={
+                "conflict_fraction": percent / 100.0,
+                "rw_sets_known": mode is ConflictMode.CONFLICT_AVOIDANCE,
+            },
+        )
+        throughput, _latency = model.throughput_latency()
+        table.add(
+            conflict_pct=percent,
+            mode=mode.value,
+            throughput_txn_s=throughput,
+            abort_fraction=model._abort_fraction(),
+        )
     return table

@@ -2,12 +2,22 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import ProtocolConfig
 from repro.core.runner import ServerlessBFTSimulation, SimulationResult
 from repro.workload.ycsb import YCSBConfig
+
+
+class DuplicateSeriesKeyWarning(UserWarning):
+    """Two table rows mapped to the same series key: data is being dropped.
+
+    Almost always means the ``series()`` filters are too loose (e.g. a
+    missing ``system=...`` filter on a multi-system table), so the series
+    silently kept only the last row per key.
+    """
 
 
 @dataclass
@@ -24,12 +34,36 @@ class ExperimentTable:
     def column(self, name: str) -> List[object]:
         return [row.get(name) for row in self.rows]
 
-    def series(self, key_column: str, value_column: str, **filters: object) -> Dict[object, object]:
-        """Return a ``{key: value}`` series optionally filtered by other columns."""
-        selected = {}
+    def series(
+        self,
+        key_column: str,
+        value_column: str,
+        strict: bool = False,
+        **filters: object,
+    ) -> Dict[object, object]:
+        """Return a ``{key: value}`` series optionally filtered by other columns.
+
+        A duplicate key among the filtered rows means the filters do not
+        uniquely identify one row per key and the series would silently drop
+        data: a :class:`DuplicateSeriesKeyWarning` is emitted (the last row
+        still wins, as before), or :class:`ValueError` raised with
+        ``strict=True``.
+        """
+        selected: Dict[object, object] = {}
         for row in self.rows:
             if all(row.get(column) == expected for column, expected in filters.items()):
-                selected[row.get(key_column)] = row.get(value_column)
+                key = row.get(key_column)
+                if key in selected:
+                    message = (
+                        f"table {self.name!r}: duplicate series key {key!r} for "
+                        f"key_column={key_column!r} with filters {filters!r} — "
+                        f"value {selected[key]!r} overwritten by "
+                        f"{row.get(value_column)!r}"
+                    )
+                    if strict:
+                        raise ValueError(message)
+                    warnings.warn(message, DuplicateSeriesKeyWarning, stacklevel=2)
+                selected[key] = row.get(value_column)
         return selected
 
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ that will execute it:
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import List
 
@@ -104,8 +105,11 @@ class DecentralizedSpawnPolicy:
 
     def plan(self, node_id: str, is_primary: bool) -> SpawnPlan:
         # Stagger regions by node so the spawned executors spread out even
-        # when each node only spawns one.
-        offset = abs(hash(node_id)) % len(self._regions)
+        # when each node only spawns one.  CRC32, not the builtin hash():
+        # string hashing is randomised per process (PYTHONHASHSEED), and the
+        # region choice must be identical in every process that simulates
+        # this deployment — parallel sweep workers included.
+        offset = zlib.crc32(node_id.encode("utf-8")) % len(self._regions)
         regions = [
             self._regions[(offset + index) % len(self._regions)] for index in range(self._per_node)
         ]

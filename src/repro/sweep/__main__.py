@@ -1,0 +1,7 @@
+"""``python -m repro.sweep`` — see :mod:`repro.sweep.cli`."""
+
+import sys
+
+from repro.sweep.cli import main
+
+sys.exit(main())

@@ -1,0 +1,151 @@
+"""Command-line entry point: ``python -m repro.sweep``.
+
+Subcommands::
+
+    list                     named sweeps and their point counts
+    scenarios                scenario presets and their descriptions
+    run NAME_OR_FILE         run a named or file-defined (JSON) sweep
+
+``run`` resolves every point to its content address, serves cached points
+from the result store (``--store``), simulates the rest with ``--workers``
+processes, prints per-point progress and the aggregated experiment table,
+and exits non-zero on failed points.  ``--expect-all-cached`` additionally
+fails the run if any point had to be simulated — CI uses it to prove the
+store actually caches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import format_table
+from repro.errors import ConfigurationError
+from repro.sweep.presets import build_sweep, sweep_names
+from repro.sweep.runner import print_progress, run_sweep
+from repro.sweep.scenarios import all_scenarios
+from repro.sweep.spec import SweepSpec, sweep_from_dict
+from repro.sweep.store import ResultStore
+
+
+def _load_sweep(
+    target: str,
+    duration: Optional[float],
+    warmup: Optional[float],
+    seed: Optional[int],
+) -> SweepSpec:
+    if os.path.exists(target) or target.endswith(".json"):
+        with open(target, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for key, value in (("duration", duration), ("warmup", warmup), ("seed", seed)):
+            if value is not None:
+                payload[key] = value
+        return sweep_from_dict(payload)
+    return build_sweep(target, duration=duration, warmup=warmup, seed=seed)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in sweep_names():
+        sweep = build_sweep(name)
+        print(f"{name:<18} {len(sweep):>3} points  base={sweep.base}")
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    for scenario in all_scenarios():
+        print(f"{scenario.name:<22} {scenario.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        sweep = _load_sweep(args.sweep, args.duration, args.warmup, args.seed)
+    except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store) if args.store else None
+    report = run_sweep(
+        sweep,
+        workers=args.workers,
+        store=store,
+        timeout=args.timeout,
+        progress=None if args.quiet else print_progress,
+    )
+    print()
+    print(format_table(report.table(), float_format="{:,.3f}"))
+    print()
+    print(report.summary())
+
+    if report.failed:
+        return 1
+    if args.expect_all_cached and report.simulated:
+        print(
+            f"error: --expect-all-cached but {report.simulated} points were "
+            f"simulated (store miss)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="named sweeps").set_defaults(func=_cmd_list)
+    sub.add_parser("scenarios", help="scenario presets").set_defaults(
+        func=_cmd_scenarios
+    )
+
+    run = sub.add_parser("run", help="run a named or file-defined sweep")
+    run.add_argument("sweep", help="sweep name (see 'list') or path to a JSON file")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (<=1: in-process serial execution)",
+    )
+    run.add_argument(
+        "--store",
+        default="",
+        help="JSONL result-store path (enables caching and resume)",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="stall budget in seconds: fail still-running points if no point "
+        "completes for this long (parallel runs only)",
+    )
+    run.add_argument(
+        "--duration", type=float, default=None, help="override virtual duration"
+    )
+    run.add_argument(
+        "--warmup", type=float, default=None, help="override virtual warm-up"
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the sweep seed")
+    run.add_argument(
+        "--expect-all-cached",
+        action="store_true",
+        help="fail if any point had to be simulated (CI cache check)",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

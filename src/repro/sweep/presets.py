@@ -1,0 +1,190 @@
+"""Named sweeps: the paper's measured grids, runnable by name from the CLI.
+
+Each preset is a function returning a :class:`~repro.sweep.spec.SweepSpec`;
+``build_sweep(name, ...)`` looks one up and lets the CLI override duration,
+warm-up, and seed.  The grids mirror the measured (message-level) points of
+the paper's figures at the scaled-down deployment size (see
+``repro.bench.defaults.SimulationScale``), with the fast crypto backend —
+PR 1's determinism suite proves it simulates bit-identical runs at a
+fraction of the host CPU, which is exactly what large sweeps want.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.defaults import SCALE
+from repro.errors import ConfigurationError
+from repro.sweep.spec import GridSpec, SweepSpec, sweep_from_grid
+
+_REGISTRY: Dict[str, Callable[..., SweepSpec]] = {}
+
+#: Large sweeps default to the fast crypto backend (identical simulated
+#: results, much less host CPU); byzantine drills override this to "real".
+_FAST = {"crypto_backend": "fast"}
+
+
+def register_sweep(name: str):
+    """Decorator: register a ``(duration, warmup, seed) -> SweepSpec`` factory."""
+
+    def decorate(factory: Callable[..., SweepSpec]) -> Callable[..., SweepSpec]:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"sweep {name!r} is already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def sweep_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_sweep(
+    name: str,
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> SweepSpec:
+    """Build a named sweep; non-None duration/warmup/seed override it."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sweep_names())
+        raise ConfigurationError(f"unknown sweep {name!r} (known: {known})")
+    kwargs = {
+        key: value
+        for key, value in (("duration", duration), ("warmup", warmup), ("seed", seed))
+        if value is not None
+    }
+    return factory(**kwargs)
+
+
+@register_sweep("smoke")
+def smoke(duration: float = 0.5, warmup: float = 0.1, seed: int = 1) -> SweepSpec:
+    """4-point batching x executors grid — the CI smoke sweep."""
+    return sweep_from_grid(
+        name="smoke",
+        grid=GridSpec({"batch_size": (5, 25), "num_executors": (3, 5)}),
+        config={**_FAST, "num_clients": 60, "client_groups": 4},
+        workload={"clients": 60},
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+@register_sweep("fig6-executors")
+def fig6_executors(
+    duration: float = SCALE.duration, warmup: float = SCALE.warmup, seed: int = 1
+) -> SweepSpec:
+    """Figure 6(i,ii)-style 8-point grid: shim size x executor count."""
+    return sweep_from_grid(
+        name="fig6-executors",
+        grid=GridSpec({"shim_nodes": (4, 7), "num_executors": (3, 5, 7, 11)}),
+        config={**_FAST, "num_executor_regions": 3},
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+@register_sweep("fig6-batching")
+def fig6_batching(
+    duration: float = SCALE.duration, warmup: float = SCALE.warmup, seed: int = 1
+) -> SweepSpec:
+    """Figure 6(iii,iv)-style grid: shim size x client batch size."""
+    return sweep_from_grid(
+        name="fig6-batching",
+        grid=GridSpec({"shim_nodes": (4, 7), "batch_size": (5, 10, 25, 50)}),
+        config=_FAST,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+@register_sweep("fig6-conflicts")
+def fig6_conflicts(
+    duration: float = SCALE.duration, warmup: float = SCALE.warmup, seed: int = 1
+) -> SweepSpec:
+    """Figure 6(xi,xii)-style grid: conflict rate under optimistic execution."""
+    return sweep_from_grid(
+        name="fig6-conflicts",
+        grid=GridSpec({"conflict_fraction": (0.0, 0.1, 0.3, 0.5)}),
+        config=_FAST,
+        workload={"rw_sets_known": False},
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+@register_sweep("fig7-baselines")
+def fig7_baselines(
+    duration: float = 1.0, warmup: float = 0.2, seed: int = 1
+) -> SweepSpec:
+    """Figure 7-style comparison: all four system variants, 4-node shim."""
+    return sweep_from_grid(
+        name="fig7-baselines",
+        grid=GridSpec(
+            {"system": ("serverless_bft", "serverless_cft", "pbft_replicated", "noshim")}
+        ),
+        config={**_FAST, "num_clients": 100, "client_groups": 4},
+        workload={"clients": 100},
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+@register_sweep("fig8-offloading")
+def fig8_offloading(
+    duration: float = SCALE.duration, warmup: float = SCALE.warmup, seed: int = 1
+) -> SweepSpec:
+    """Figure 8-style grid: execution length x system (offloading vs edge-only)."""
+    return sweep_from_grid(
+        name="fig8-offloading",
+        grid=GridSpec(
+            {
+                "execution_seconds": (0.0, 0.1),
+                "system": ("serverless_bft", "pbft_replicated"),
+            }
+        ),
+        config=_FAST,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+@register_sweep("scenario-drills")
+def scenario_drills(
+    duration: float = 1.0, warmup: float = 0.2, seed: int = 1
+) -> SweepSpec:
+    """One point per fault/workload scenario preset (real crypto: byzantine
+    drills depend on signature verification actually failing)."""
+    return sweep_from_grid(
+        name="scenario-drills",
+        grid=GridSpec(
+            {
+                "scenario": (
+                    "baseline",
+                    "lossy-network",
+                    "network-partition",
+                    "region-outage",
+                    "byzantine-executors",
+                    "silent-executors",
+                    "shim-crash",
+                    "skewed-ycsb",
+                    "write-heavy",
+                    "conflict-heavy",
+                )
+            }
+        ),
+        config={"num_clients": 60, "client_groups": 4},
+        workload={"clients": 60},
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )

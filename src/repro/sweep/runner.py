@@ -1,0 +1,435 @@
+"""Sweep execution: in-process or fanned out across CPU cores.
+
+``run_sweep`` resolves every point of a :class:`~repro.sweep.spec.SweepSpec`
+to its content address, serves already-simulated points from the
+:class:`~repro.sweep.store.ResultStore`, and simulates the rest — serially
+in-process (``workers <= 1``) or on a ``ProcessPoolExecutor`` (``workers >
+1``).  Results are bit-identical either way: a worker rebuilds the entire
+deployment from the resolved point dict (which pins every config field and
+the derived per-point seed), so nothing about scheduling, ordering, or
+process boundaries can leak into the simulated run.
+
+Parallel runs harvest results in completion order (each finished point is
+written to the result store immediately) and accept a stall budget
+(``timeout``): if no point completes for that long, the points still
+running are recorded as failed and their workers are killed.  Progress is
+reported per point through a callback (the CLI prints ``[sweep] 3/8
+simulated batch_size=25 ... (1.9s)`` lines).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentTable
+from repro.core.config import ConflictMode, ProtocolConfig, SpawnPolicyName
+from repro.core.runner import ServerlessBFTSimulation, SimulationResult
+from repro.crypto.costs import CryptoCostModel
+from repro.errors import ConfigurationError
+from repro.sweep.scenarios import custom_scenarios
+from repro.sweep.serialization import result_from_dict, result_to_dict
+from repro.sweep.spec import PointSpec, SweepSpec, point_digest, resolve_point
+from repro.sweep.store import ResultStore
+from repro.workload.ycsb import YCSBConfig
+
+ProgressCallback = Callable[["PointOutcome", int, int], None]
+
+
+def _register_worker_scenarios(scenarios) -> None:
+    """Process-pool initializer: make runtime-registered scenarios visible.
+
+    Fork-start workers inherit the parent's registry; spawn-start workers
+    (macOS/Windows defaults) re-import :mod:`repro.sweep.scenarios` fresh
+    and would only know the built-in presets.  The scenarios themselves
+    must be picklable (module-level factories are).
+    """
+    from repro.sweep.scenarios import register_scenario
+
+    for scenario in scenarios:
+        register_scenario(scenario, replace=True)
+
+
+# ------------------------------------------------------------------ rebuilding
+
+
+def protocol_config_from_dict(payload: Mapping[str, object]) -> ProtocolConfig:
+    """Rebuild a :class:`ProtocolConfig` from its JSONified ``asdict`` form."""
+    data = dict(payload)
+    data["spawn_policy"] = SpawnPolicyName(data["spawn_policy"])
+    data["conflict_mode"] = ConflictMode(data["conflict_mode"])
+    data["crypto_costs"] = CryptoCostModel(**data["crypto_costs"])  # type: ignore[arg-type]
+    if data.get("executor_regions") is not None:
+        data["executor_regions"] = list(data["executor_regions"])  # type: ignore[arg-type]
+    return ProtocolConfig(**data)  # type: ignore[arg-type]
+
+
+def workload_config_from_dict(payload: Mapping[str, object]) -> YCSBConfig:
+    return YCSBConfig(**dict(payload))  # type: ignore[arg-type]
+
+
+def build_simulation(resolved: Mapping[str, object]):
+    """Construct the deployment a resolved point describes (any system kind)."""
+    from repro.baselines import (  # local: baselines import the runner module
+        PBFTReplicatedSimulation,
+        build_noshim_simulation,
+        build_serverless_cft_simulation,
+    )
+    from repro.sweep.scenarios import get_scenario
+
+    config = protocol_config_from_dict(resolved["config"])  # type: ignore[arg-type]
+    workload = workload_config_from_dict(resolved["workload"])  # type: ignore[arg-type]
+    scenario = get_scenario(str(resolved["scenario"]))
+    kwargs = scenario.runner_kwargs(resolved)
+    system = str(resolved["system"])
+
+    if system == "pbft_replicated":
+        unsupported = sorted(set(kwargs) - {"node_behaviours"})
+        if unsupported:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} needs {unsupported} which the "
+                f"pbft_replicated baseline does not support"
+            )
+        simulation = PBFTReplicatedSimulation(
+            config,
+            workload=workload,
+            execution_threads=int(resolved["execution_threads"]),  # type: ignore[arg-type]
+            tracer_enabled=False,
+            **kwargs,
+        )
+    elif system == "serverless_cft":
+        simulation = build_serverless_cft_simulation(
+            config, workload=workload, tracer_enabled=False, **kwargs
+        )
+    elif system == "noshim":
+        simulation = build_noshim_simulation(
+            config, workload=workload, tracer_enabled=False, **kwargs
+        )
+    else:
+        simulation = ServerlessBFTSimulation(
+            config,
+            workload=workload,
+            consensus_engine=str(resolved["consensus_engine"]),
+            tracer_enabled=False,
+            **kwargs,
+        )
+
+    # Region-aware fault plans need the live endpoint table (executors are
+    # spawned dynamically); bind once the network exists.
+    plan = kwargs.get("network_fault_plan")
+    if plan is not None and hasattr(plan, "bind"):
+        plan.bind(simulation.network)
+    return simulation
+
+
+def simulate_resolved_point(resolved: Mapping[str, object]) -> Dict[str, object]:
+    """Run one resolved point and return its result dict.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it; the in-process
+    serial path calls the exact same function, which is what makes parallel
+    runs bit-identical to serial ones.
+    """
+    simulation = build_simulation(resolved)
+    result = simulation.run(
+        duration=float(resolved["duration"]),  # type: ignore[arg-type]
+        warmup=float(resolved["warmup"]),  # type: ignore[arg-type]
+    )
+    return result_to_dict(result)
+
+
+# ------------------------------------------------------------------ outcomes
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one point of a sweep run."""
+
+    point: PointSpec
+    resolved: Dict[str, object]
+    digest: str
+    result_dict: Optional[Dict[str, object]] = None
+    cached: bool = False
+    error: Optional[str] = None
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result_dict is not None
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return "failed"
+        return "cached" if self.cached else "simulated"
+
+    @property
+    def result(self) -> Optional[SimulationResult]:
+        if self.result_dict is None:
+            return None
+        return result_from_dict(self.result_dict)
+
+    def metric(self, path: str):
+        """Look up a dotted path (e.g. ``latency.mean``) in the result dict.
+
+        ``abort_rate`` is computed (it is a property, not a stored field).
+        """
+        if self.result_dict is None:
+            return None
+        if path == "abort_rate":
+            committed = self.result_dict["committed_txns"]
+            aborted = self.result_dict["aborted_txns"]
+            total = committed + aborted  # type: ignore[operator]
+            return aborted / total if total else 0.0  # type: ignore[operator]
+        value: object = self.result_dict
+        for part in path.split("."):
+            value = value[part]  # type: ignore[index]
+        return value
+
+
+#: Default table columns: ``column name -> result-dict metric path``.
+DEFAULT_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("throughput_txn_s", "throughput_txn_per_sec"),
+    ("latency_s", "latency.mean"),
+    ("committed", "committed_txns"),
+    ("aborted", "aborted_txns"),
+)
+
+
+@dataclass
+class SweepReport:
+    """All outcomes of one ``run_sweep`` call, in sweep point order."""
+
+    sweep: SweepSpec
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok and not outcome.cached)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.error is not None)
+
+    def table(
+        self, metrics: Sequence[Tuple[str, str]] = DEFAULT_METRICS
+    ) -> ExperimentTable:
+        """Aggregate the outcomes into an :class:`ExperimentTable`.
+
+        Columns are the union of the points' label keys followed by the
+        requested metric columns; failed points are skipped.
+        """
+        label_columns: List[str] = []
+        for outcome in self.outcomes:
+            for key in outcome.point.labels:
+                if key not in label_columns:
+                    label_columns.append(key)
+        metric_columns = [name for name, _path in metrics]
+        table = ExperimentTable(
+            name=self.sweep.name, columns=tuple(label_columns + metric_columns)
+        )
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                continue
+            row = {key: outcome.point.labels.get(key) for key in label_columns}
+            for name, path in metrics:
+                row[name] = outcome.metric(path)
+            table.add(**row)
+        return table
+
+    def summary(self) -> str:
+        return (
+            f"{self.sweep.name}: {len(self.outcomes)} points — "
+            f"simulated={self.simulated} cached={self.cached} failed={self.failed} "
+            f"wall={self.wall_clock_seconds:.1f}s"
+        )
+
+
+# ------------------------------------------------------------------ execution
+
+
+def _format_labels(point: PointSpec) -> str:
+    if not point.labels:
+        return "-"
+    return " ".join(f"{key}={value}" for key, value in point.labels.items())
+
+
+def print_progress(outcome: PointOutcome, index: int, total: int) -> None:
+    """Default progress reporter: one line per finished point."""
+    detail = f" [{outcome.error}]" if outcome.error else ""
+    print(
+        f"[sweep] {index}/{total} {outcome.status:<9} "
+        f"{_format_labels(outcome.point)} digest={outcome.digest[:12]} "
+        f"({outcome.wall_clock_seconds:.1f}s){detail}"
+    )
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    workers: int = 0,
+    store: Optional[ResultStore] = None,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepReport:
+    """Run every point of ``sweep``, skipping points already in ``store``.
+
+    ``workers <= 1`` simulates in-process (serial); ``workers > 1`` fans the
+    uncached points out over a process pool and harvests in completion
+    order.  ``timeout`` is a stall budget for parallel runs: if no point
+    completes within it, the still-running points fail and their workers
+    are terminated.  Finished points are written to the store as they
+    complete, so an interrupted sweep resumes from where it stopped.
+    """
+    started = time.perf_counter()
+    outcomes: List[PointOutcome] = []
+    for point in sweep.points:
+        try:
+            resolved = resolve_point(sweep, point)
+        except Exception as exc:  # invalid overrides surface as failed points
+            outcomes.append(
+                PointOutcome(
+                    point=point,
+                    resolved={},
+                    digest="",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        outcomes.append(
+            PointOutcome(point=point, resolved=resolved, digest=point_digest(resolved))
+        )
+
+    total = len(outcomes)
+    done = 0
+    pending: List[PointOutcome] = []
+    for outcome in outcomes:
+        if outcome.error is not None:
+            done += 1
+            if progress is not None:
+                progress(outcome, done, total)
+            continue
+        record = store.get(outcome.digest) if store is not None else None
+        if record is not None:
+            outcome.result_dict = dict(record["result"])
+            outcome.cached = True
+            done += 1
+            if progress is not None:
+                progress(outcome, done, total)
+        else:
+            pending.append(outcome)
+
+    # Points that share a digest are the *same* simulation; execute one
+    # representative each and serve the twins from its result (the pinned-
+    # seed replicate-alias case — distinct points always differ in digest).
+    executable: List[PointOutcome] = []
+    representatives: Dict[str, PointOutcome] = {}
+    twin_map: Dict[str, List[PointOutcome]] = {}
+    for outcome in pending:
+        if outcome.digest in representatives:
+            twin_map.setdefault(outcome.digest, []).append(outcome)
+        else:
+            representatives[outcome.digest] = outcome
+            executable.append(outcome)
+
+    def finish(outcome: PointOutcome) -> None:
+        nonlocal done
+        if outcome.ok and store is not None:
+            store.put(
+                outcome.digest, outcome.resolved, outcome.result_dict, sweep.name
+            )
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+        for twin in twin_map.pop(outcome.digest, []):
+            if outcome.ok:
+                twin.result_dict = dict(outcome.result_dict)
+                twin.cached = True
+            else:
+                twin.error = outcome.error
+                twin.wall_clock_seconds = outcome.wall_clock_seconds
+            done += 1
+            if progress is not None:
+                progress(twin, done, total)
+
+    def harvest(future, outcome: PointOutcome) -> None:
+        try:
+            outcome.result_dict = future.result()
+        except Exception as exc:  # worker died or raised
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        if outcome.ok:
+            outcome.wall_clock_seconds = float(
+                outcome.result_dict.get("wall_clock_seconds", 0.0)
+            )
+        finish(outcome)
+
+    if workers > 1 and executable:
+        timed_out = False
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            # Spawn-start platforms (macOS/Windows) re-import the scenario
+            # registry in each worker and would miss presets registered at
+            # runtime; re-register them explicitly.
+            initializer=_register_worker_scenarios,
+            initargs=(custom_scenarios(),),
+        ) as pool:
+            future_map = {
+                pool.submit(simulate_resolved_point, outcome.resolved): outcome
+                for outcome in executable
+            }
+            # Harvest in *completion* order so each finished point hits the
+            # store immediately — an interrupted sweep keeps everything that
+            # actually completed.  ``timeout`` is a stall budget: if no point
+            # finishes within it, everything still running is declared failed.
+            remaining = set(future_map)
+            while remaining:
+                completed, remaining = wait(
+                    remaining, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not completed:
+                    timed_out = True
+                    for future in remaining:
+                        future.cancel()
+                        outcome = future_map[future]
+                        if future.done() and not future.cancelled():
+                            # Completed in the race window between wait()
+                            # returning empty and this loop: keep the result.
+                            harvest(future, outcome)
+                            continue
+                        outcome.error = f"no result within {timeout:g}s"
+                        outcome.wall_clock_seconds = float(timeout or 0.0)
+                        finish(outcome)
+                    remaining = set()
+                    break
+                for future in completed:
+                    harvest(future, future_map[future])
+            if timed_out:
+                # A timed-out worker is still executing its point and a plain
+                # shutdown would block on it indefinitely; kill the pool
+                # (every live worker belongs to a timed-out point by now).
+                # The process handles must be captured before shutdown, which
+                # drops the pool's reference to them.
+                processes = list((getattr(pool, "_processes", None) or {}).values())
+                pool.shutdown(wait=False, cancel_futures=True)
+                for process in processes:
+                    process.terminate()
+    else:
+        for outcome in executable:
+            point_started = time.perf_counter()
+            try:
+                outcome.result_dict = simulate_resolved_point(outcome.resolved)
+            except Exception as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.wall_clock_seconds = time.perf_counter() - point_started
+            finish(outcome)
+
+    return SweepReport(
+        sweep=sweep,
+        outcomes=outcomes,
+        wall_clock_seconds=time.perf_counter() - started,
+    )

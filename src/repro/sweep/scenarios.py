@@ -1,0 +1,222 @@
+"""Scenario-preset registry: named, reusable workload/fault setups.
+
+A scenario bundles three things under one name:
+
+* protocol-config and workload-config defaults (applied *underneath* a
+  point's own overrides, so points can still specialise),
+* a factory for the runner-level fault machinery — node behaviours,
+  executor behaviour factories, network fault plans — which is invoked
+  inside whichever process executes the point (behaviour objects carry
+  state and callbacks, so only the scenario *name* travels through specs,
+  digests, and worker boundaries),
+* a one-line description for ``python -m repro.sweep scenarios``.
+
+Adding a new experiment axis is a one-line :func:`register_scenario` call
+(or a ``@scenario`` decorated factory) — every sweep, bench, and CLI run
+can then reference it by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.faults.byzantine import (
+    CrashBehaviour,
+    SilentExecutorBehaviour,
+    WrongResultBehaviour,
+)
+from repro.faults.injector import PerBatchExecutorFaults
+from repro.sim.network import NetworkFaultPlan
+
+
+class RegionOutageFaultPlan(NetworkFaultPlan):
+    """Drops every message to or from endpoints hosted in a failed region.
+
+    ``NetworkFaultPlan`` partitions are keyed by endpoint *name*, but
+    executors are spawned dynamically with generated names, so a region
+    outage cannot be expressed as a static name set.  This plan instead
+    resolves endpoint regions through the live network once the runner binds
+    it (see ``repro.sweep.runner``): any endpoint registered in the outage
+    region is unreachable for the whole run.
+    """
+
+    def __init__(self, outage_region: str) -> None:
+        super().__init__()
+        self.outage_region = outage_region
+        self._network = None
+
+    def bind(self, network) -> None:
+        """Attach the live network so endpoint regions can be resolved."""
+        self._network = network
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        if super().is_partitioned(src, dst):
+            return True
+        network = self._network
+        if network is None:
+            return False
+        outage = self.outage_region
+        for name in (src, dst):
+            if network.has_endpoint(name) and network.region_of(name) == outage:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload/fault preset."""
+
+    name: str
+    description: str
+    config_overrides: Mapping[str, object] = field(default_factory=dict)
+    workload_overrides: Mapping[str, object] = field(default_factory=dict)
+    #: Builds the runner keyword arguments (``node_behaviours``,
+    #: ``executor_behaviour_factory``, ``network_fault_plan``) fresh in the
+    #: executing process.  Receives the resolved point dict for context.
+    runner_kwargs_factory: Optional[Callable[[Mapping[str, object]], Dict[str, object]]] = None
+
+    def runner_kwargs(self, resolved: Mapping[str, object]) -> Dict[str, object]:
+        if self.runner_kwargs_factory is None:
+            return {}
+        return dict(self.runner_kwargs_factory(resolved))
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (``replace=True`` to redefine)."""
+    if scenario.name in _REGISTRY and not replace:
+        raise ConfigurationError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown scenario {name!r} (known: {known})")
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# ------------------------------------------------------------------ presets
+
+
+def _lossy_network_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "network_fault_plan": NetworkFaultPlan(
+            drop_probability=0.01, duplicate_probability=0.005
+        )
+    }
+
+
+def _partition_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    # Isolate the last shim node from its peers (up to f_R = 1 for the
+    # 4-node scale deployment): consensus must keep committing without it.
+    shim_nodes = int(resolved["config"]["shim_nodes"])  # type: ignore[index]
+    plan = NetworkFaultPlan()
+    victim = f"node-{shim_nodes - 1}"
+    for index in range(shim_nodes - 1):
+        plan.partition(victim, f"node-{index}")
+    return {"network_fault_plan": plan}
+
+
+def _region_outage_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    # us-east-2 is the third executor region of the paper's catalog order:
+    # executors spawned there never reach the verifier, so the shim's spawn
+    # redundancy and the verifier's quorum timeout carry the run.
+    return {"network_fault_plan": RegionOutageFaultPlan("us-east-2")}
+
+
+def _byzantine_executor_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "executor_behaviour_factory": PerBatchExecutorFaults(1, WrongResultBehaviour)
+    }
+
+
+def _silent_executor_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "executor_behaviour_factory": PerBatchExecutorFaults(1, SilentExecutorBehaviour)
+    }
+
+
+def _shim_crash_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    shim_nodes = int(resolved["config"]["shim_nodes"])  # type: ignore[index]
+    return {"node_behaviours": {f"node-{shim_nodes - 1}": CrashBehaviour()}}
+
+
+register_scenario(Scenario(
+    name="baseline",
+    description="Fault-free run with the deployment's default workload.",
+))
+register_scenario(Scenario(
+    name="lossy-network",
+    description="1% message drops and 0.5% duplicate deliveries on every link.",
+    runner_kwargs_factory=_lossy_network_kwargs,
+))
+register_scenario(Scenario(
+    name="network-partition",
+    description="The last shim node is partitioned from all of its peers.",
+    runner_kwargs_factory=_partition_kwargs,
+))
+register_scenario(Scenario(
+    name="region-outage",
+    description="Executor region us-east-2 is unreachable for the whole run.",
+    runner_kwargs_factory=_region_outage_kwargs,
+))
+register_scenario(Scenario(
+    name="byzantine-executors",
+    description="The first executor of every batch returns a fabricated result.",
+    runner_kwargs_factory=_byzantine_executor_kwargs,
+))
+register_scenario(Scenario(
+    name="silent-executors",
+    description="The first executor of every batch never reports to the verifier.",
+    runner_kwargs_factory=_silent_executor_kwargs,
+))
+register_scenario(Scenario(
+    name="shim-crash",
+    description="The last shim node is crashed (omission failures) throughout.",
+    runner_kwargs_factory=_shim_crash_kwargs,
+))
+register_scenario(Scenario(
+    name="skewed-ycsb",
+    description="Zipfian key selection (theta=0.9) instead of uniform keys.",
+    workload_overrides={"zipfian_theta": 0.9},
+))
+register_scenario(Scenario(
+    name="write-heavy",
+    description="90% of YCSB operations are writes.",
+    workload_overrides={"write_fraction": 0.9},
+))
+register_scenario(Scenario(
+    name="conflict-heavy",
+    description="30% conflicting transactions with unknown read-write sets.",
+    workload_overrides={"conflict_fraction": 0.3, "rw_sets_known": False},
+))
+
+#: Presets registered by this module itself.  Anything beyond these was
+#: registered at runtime and must be shipped to spawn-start worker processes
+#: explicitly (see ``repro.sweep.runner``) — a fresh interpreter importing
+#: this module only gets the built-ins.
+BUILTIN_SCENARIO_NAMES = frozenset(_REGISTRY)
+
+
+def custom_scenarios() -> List[Scenario]:
+    """Scenarios registered after import (not built-in presets)."""
+    return [
+        scenario
+        for name, scenario in _REGISTRY.items()
+        if name not in BUILTIN_SCENARIO_NAMES
+    ]

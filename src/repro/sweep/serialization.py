@@ -1,0 +1,64 @@
+"""SimulationResult <-> plain-dict round-tripping.
+
+Sweep workers run in separate processes and the result store persists
+results as JSONL, so a :class:`~repro.core.runner.SimulationResult` must
+survive dict/JSON round trips losslessly.  ``simulated_fingerprint``
+additionally strips the host-speed fields (wall-clock) so two runs of the
+same point can be compared for *simulated* bit-identity regardless of how
+fast the host happened to execute them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Mapping
+
+from repro.cloud.billing import BillingReport
+from repro.core.runner import SimulationResult
+from repro.sim.stats import LatencySummary
+
+
+def _schema_tag() -> str:
+    """A short fingerprint of the result layout, derived from the dataclass
+    fields themselves: any change to ``SimulationResult`` (or its nested
+    latency/billing summaries) yields a new tag automatically, so stale
+    store records register as cache misses instead of crashing
+    ``result_from_dict`` — no manual version bump to forget."""
+    names = []
+    for cls in (SimulationResult, LatencySummary, BillingReport):
+        names.append(cls.__name__)
+        names.extend(sorted(field.name for field in dataclasses.fields(cls)))
+    return hashlib.sha256("/".join(names).encode("utf-8")).hexdigest()[:12]
+
+
+RESULT_SCHEMA_TAG = _schema_tag()
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Serialise a result (nested dataclasses included) to JSON-able types."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(payload: Mapping[str, object]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` output."""
+    data = dict(payload)
+    data["latency"] = LatencySummary(**data["latency"])  # type: ignore[arg-type]
+    data["billing"] = BillingReport(**data["billing"])  # type: ignore[arg-type]
+    return SimulationResult(**data)  # type: ignore[arg-type]
+
+
+#: Result fields that depend on host speed, not on the simulated run.
+HOST_SPEED_FIELDS = ("wall_clock_seconds",)
+
+
+def simulated_fingerprint(payload: Mapping[str, object]) -> Dict[str, object]:
+    """The simulated-time metrics of a result dict, host-speed fields removed.
+
+    Everything left is a pure function of the resolved point spec: two runs
+    of the same point — serial or parallel, cached or fresh — must produce
+    identical fingerprints (``tests/test_sweep_runner.py`` enforces this).
+    """
+    return {
+        key: value for key, value in payload.items() if key not in HOST_SPEED_FIELDS
+    }

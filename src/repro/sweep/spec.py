@@ -1,0 +1,364 @@
+"""Declarative sweep specifications.
+
+A sweep is described *declaratively* — a :class:`GridSpec` names the axes
+and their values, a :class:`PointSpec` pins one combination down, and a
+:class:`SweepSpec` bundles the points with a name, a base deployment scale,
+and a root seed.  Resolution turns each point into a plain-JSON dict that
+fully determines one simulation run (every ``ProtocolConfig`` and
+``YCSBConfig`` field, the system variant, the scenario preset, duration and
+warm-up), and the SHA-256 digest of that resolved dict is the point's
+*content address*: the result store keys on it, so any change to a knob —
+including library-default changes that alter the resolved config — yields a
+new address and a fresh simulation, while an unchanged point is served from
+the store.
+
+Per-point seeds are *derived*, not positional: unless a point pins a seed
+explicitly, its seed is ``derive_seed(sweep.seed, sweep.name, labels)``, so
+the same point gets the same RNG streams no matter which worker runs it or
+in which order — the property the parallel-determinism tests lock down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.crypto.hashing import digest
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_seed
+from repro.workload.ycsb import YCSBConfig
+
+#: Bumped whenever the resolved-point layout changes incompatibly, so stale
+#: store entries can never be mistaken for current ones.
+SPEC_SCHEMA_VERSION = 1
+
+#: System variants the sweep runner can drive (Figure 7's comparison set).
+SYSTEMS = ("serverless_bft", "serverless_cft", "pbft_replicated", "noshim")
+
+
+def _jsonify(value):
+    """Rewrite ``value`` into pure JSON types (dicts/lists/str/num/bool/None).
+
+    Enum members collapse to their values and tuples to lists so that a
+    resolved point hashes identically before and after a JSONL round-trip.
+    """
+    if isinstance(value, enum.Enum):
+        return _jsonify(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonify(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """An ordered parameter grid: axis name -> sequence of values.
+
+    ``combinations()`` expands the grid in row-major order (first axis
+    outermost), matching the nested ``for`` loops the per-figure experiment
+    sweeps historically used, so refactoring onto grids preserves row order.
+    """
+
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+    def __init__(self, axes) -> None:
+        if isinstance(axes, Mapping):
+            pairs = tuple((name, tuple(values)) for name, values in axes.items())
+        else:
+            pairs = tuple((name, tuple(values)) for name, values in axes)
+        seen = set()
+        for name, values in pairs:
+            if name in seen:
+                raise ConfigurationError(f"duplicate grid axis {name!r}")
+            if not values:
+                raise ConfigurationError(f"grid axis {name!r} has no values")
+            seen.add(name)
+        object.__setattr__(self, "axes", pairs)
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _values in self.axes)
+
+    def __len__(self) -> int:
+        total = 1
+        for _name, values in self.axes:
+            total *= len(values)
+        return total
+
+    def combinations(self) -> List[Dict[str, object]]:
+        """Expand to one ``{axis: value}`` dict per point, row-major."""
+        names = self.axis_names
+        value_lists = [values for _name, values in self.axes]
+        return [dict(zip(names, combo)) for combo in itertools.product(*value_lists)]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One individually addressable simulation point of a sweep.
+
+    ``labels`` carry the human-facing axis values for tables and progress
+    lines.  They never enter the content address directly, but for a point
+    without a pinned ``seed`` they determine the *derived* seed — which is
+    materialised into the resolved config and therefore the digest.  So
+    relabelling shares cache entries only for pinned-seed points; for
+    derived-seed points different labels deliberately mean different RNG
+    streams (two identically-configured points with different labels are
+    independent replicates, not duplicates).  ``config`` / ``workload`` are
+    overrides applied on top of the sweep's base deployment scale; scenario
+    presets may contribute further defaults underneath them.
+    """
+
+    labels: Mapping[str, object] = field(default_factory=dict)
+    config: Mapping[str, object] = field(default_factory=dict)
+    workload: Mapping[str, object] = field(default_factory=dict)
+    system: str = "serverless_bft"
+    consensus_engine: str = "pbft"
+    scenario: str = "baseline"
+    execution_threads: int = 16
+    duration: float = 2.0
+    warmup: float = 0.4
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ConfigurationError(
+                f"unknown system {self.system!r} (expected one of {SYSTEMS})"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.warmup < 0 or self.warmup >= self.duration:
+            raise ConfigurationError("warmup must be inside [0, duration)")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named collection of points sharing a base scale and a root seed."""
+
+    name: str
+    points: Tuple[PointSpec, ...]
+    base: str = "scale"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a sweep needs a name")
+        if not self.points:
+            raise ConfigurationError(f"sweep {self.name!r} has no points")
+        if self.base not in ("scale", "paper", "default"):
+            raise ConfigurationError(
+                f"unknown base {self.base!r} (expected 'scale', 'paper', or 'default')"
+            )
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+# ------------------------------------------------------------------ resolution
+
+
+def _base_protocol_config(base: str, overrides: Dict[str, object]) -> ProtocolConfig:
+    # Imported lazily: bench.experiments routes its model grids through this
+    # module, so a module-level import of repro.bench would be circular.
+    from repro.bench.defaults import PAPER, SCALE
+
+    if base == "scale":
+        return SCALE.protocol_config(**overrides)
+    if base == "paper":
+        shim_nodes = overrides.pop("shim_nodes", PAPER.medium_shim)
+        return PAPER.protocol_config(shim_nodes, **overrides)
+    return ProtocolConfig(**overrides)
+
+
+def _base_workload_config(base: str, overrides: Dict[str, object]) -> YCSBConfig:
+    from repro.bench.defaults import PAPER, SCALE
+
+    if base == "scale":
+        return SCALE.workload_config(**overrides)
+    if base == "paper":
+        return PAPER.workload_config(**overrides)
+    return YCSBConfig(**overrides)
+
+
+def point_seed(sweep: SweepSpec, point: PointSpec) -> int:
+    """The point's root RNG seed: pinned, or derived from sweep seed + labels.
+
+    Deriving from the (sorted, canonical) labels rather than the point's
+    position keeps the seed stable under reordering, filtering, or parallel
+    execution of the sweep.
+    """
+    if point.seed is not None:
+        return point.seed
+    if "seed" in point.config:
+        return int(point.config["seed"])  # type: ignore[arg-type]
+    label_blob = json.dumps(_jsonify(dict(point.labels)), sort_keys=True)
+    return derive_seed(sweep.seed, sweep.name, point.scenario, point.system, label_blob)
+
+
+def resolve_point(sweep: SweepSpec, point: PointSpec) -> Dict[str, object]:
+    """Expand one point into the plain-JSON dict that fully determines a run.
+
+    Scenario presets contribute config/workload defaults *underneath* the
+    point's own overrides, and the per-point seed is materialised into both
+    the protocol and workload configs, so the resolved dict — and therefore
+    the content address — captures everything the simulation will see.
+    """
+    from repro.sweep.scenarios import get_scenario  # cycle: scenarios build specs
+
+    scenario = get_scenario(point.scenario)
+    seed = point_seed(sweep, point)
+
+    config_overrides: Dict[str, object] = dict(scenario.config_overrides)
+    config_overrides.update(point.config)
+    config_overrides["seed"] = seed
+
+    workload_overrides: Dict[str, object] = dict(scenario.workload_overrides)
+    workload_overrides.update(point.workload)
+    workload_overrides.setdefault("seed", derive_seed(seed, "workload"))
+
+    config = _base_protocol_config(sweep.base, config_overrides)
+    workload = _base_workload_config(sweep.base, workload_overrides)
+
+    return {
+        "schema": SPEC_SCHEMA_VERSION,
+        "system": point.system,
+        "consensus_engine": point.consensus_engine,
+        "scenario": point.scenario,
+        "execution_threads": point.execution_threads,
+        "duration": point.duration,
+        "warmup": point.warmup,
+        "config": _jsonify(dataclasses.asdict(config)),
+        "workload": _jsonify(dataclasses.asdict(workload)),
+        "labels": _jsonify(dict(point.labels)),
+    }
+
+
+def point_digest(resolved: Mapping[str, object]) -> str:
+    """Content address of a resolved point.
+
+    Labels are excluded: everything they can influence (the derived seed,
+    see :func:`point_seed`) is already materialised into the resolved
+    config, so the address covers exactly what the simulation will see and
+    nothing presentational.
+    """
+    addressed = {key: value for key, value in resolved.items() if key != "labels"}
+    return digest(addressed)
+
+
+# ------------------------------------------------------------------ file-defined sweeps
+
+#: Axis names routed to PointSpec fields rather than config/workload overrides.
+_POINT_AXES = ("scenario", "system", "consensus_engine", "execution_threads")
+
+_CONFIG_FIELDS = frozenset(ProtocolConfig.__dataclass_fields__)
+_WORKLOAD_FIELDS = frozenset(YCSBConfig.__dataclass_fields__)
+
+
+def _route_axis(name: str):
+    """Classify a grid axis name: point field, config field, or workload field."""
+    if name in _POINT_AXES:
+        return "point"
+    if name in _CONFIG_FIELDS:
+        return "config"
+    if name in _WORKLOAD_FIELDS:
+        return "workload"
+    raise ConfigurationError(
+        f"unknown sweep axis {name!r}: not a PointSpec, ProtocolConfig, "
+        f"or YCSBConfig field"
+    )
+
+
+def sweep_from_grid(
+    name: str,
+    grid: GridSpec,
+    base: str = "scale",
+    seed: int = 1,
+    duration: float = 2.0,
+    warmup: float = 0.4,
+    config: Optional[Mapping[str, object]] = None,
+    workload: Optional[Mapping[str, object]] = None,
+    scenario: str = "baseline",
+    system: str = "serverless_bft",
+) -> SweepSpec:
+    """Expand a grid into a :class:`SweepSpec`, routing each axis by name.
+
+    Axes named after ``ProtocolConfig`` fields become protocol overrides,
+    ``YCSBConfig`` fields become workload overrides, and ``scenario`` /
+    ``system`` / ``consensus_engine`` / ``execution_threads`` select the
+    point variant.  ``config`` / ``workload`` supply grid-wide constants.
+    """
+    shared_config = dict(config or {})
+    shared_workload = dict(workload or {})
+    # Overlap between shared constants and a grid axis would silently shadow;
+    # surface it instead.
+    for axis in grid.axis_names:
+        if axis in shared_config or axis in shared_workload:
+            raise ConfigurationError(f"axis {axis!r} also given as a sweep constant")
+    points = []
+    for combo in grid.combinations():
+        point_fields: Dict[str, object] = {
+            "scenario": scenario,
+            "system": system,
+        }
+        config_overrides = dict(shared_config)
+        workload_overrides = dict(shared_workload)
+        for axis, value in combo.items():
+            route = _route_axis(axis)
+            if route == "point":
+                point_fields[axis] = value
+            elif route == "config":
+                config_overrides[axis] = value
+            else:
+                workload_overrides[axis] = value
+        points.append(
+            PointSpec(
+                labels=combo,
+                config=config_overrides,
+                workload=workload_overrides,
+                duration=duration,
+                warmup=warmup,
+                **point_fields,
+            )
+        )
+    return SweepSpec(name=name, points=tuple(points), base=base, seed=seed)
+
+
+def sweep_from_dict(payload: Mapping[str, object]) -> SweepSpec:
+    """Build a sweep from a JSON-style dict (the ``--file`` CLI format).
+
+    Expected shape::
+
+        {"name": "my-sweep", "base": "scale", "seed": 3,
+         "duration": 1.0, "warmup": 0.2,
+         "scenario": "baseline", "system": "serverless_bft",
+         "config": {"crypto_backend": "fast"},
+         "workload": {"write_fraction": 0.5},
+         "grid": {"batch_size": [5, 25], "num_executors": [3, 5]}}
+    """
+    if "grid" not in payload or not payload["grid"]:
+        raise ConfigurationError("a sweep file needs a non-empty 'grid' mapping")
+    if "name" not in payload:
+        raise ConfigurationError("a sweep file needs a 'name'")
+    grid = GridSpec(payload["grid"])  # type: ignore[arg-type]
+    return sweep_from_grid(
+        name=str(payload["name"]),
+        grid=grid,
+        base=str(payload.get("base", "scale")),
+        seed=int(payload.get("seed", 1)),  # type: ignore[arg-type]
+        duration=float(payload.get("duration", 2.0)),  # type: ignore[arg-type]
+        warmup=float(payload.get("warmup", 0.4)),  # type: ignore[arg-type]
+        config=payload.get("config"),  # type: ignore[arg-type]
+        workload=payload.get("workload"),  # type: ignore[arg-type]
+        scenario=str(payload.get("scenario", "baseline")),
+        system=str(payload.get("system", "serverless_bft")),
+    )

@@ -1,0 +1,101 @@
+"""Content-addressed result store (append-only JSONL).
+
+Each record keys a simulation result by the SHA-256 digest of its resolved
+point spec (see :func:`repro.sweep.spec.point_digest`).  Re-running a sweep
+looks every point up before simulating, so completed points are never
+re-simulated and an interrupted sweep resumes where it stopped: records are
+appended and flushed one by one as points finish.
+
+The file format is one JSON object per line::
+
+    {"digest": "...", "sweep": "...", "labels": {...}, "result_schema": "...",
+     "point": {resolved spec...}, "result": {result dict...}}
+
+Corrupt or truncated trailing lines (a run killed mid-write) are skipped on
+load; the digest of a well-formed record is trusted — it was computed from
+the stored ``point`` payload by the writer and is re-derivable from it.
+Records whose ``result_schema`` tag does not match the current
+:data:`~repro.sweep.serialization.RESULT_SCHEMA_TAG` are ignored: the point
+digest only covers the *input* spec, so a result-layout change must turn
+old records into cache misses (and a re-simulation), not deserialisation
+crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.sweep.serialization import RESULT_SCHEMA_TAG
+
+
+class ResultStore:
+    """Digest-keyed persistent result cache backed by one JSONL file."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._records: Dict[str, dict] = {}
+        self._load()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def _load(self) -> None:
+        if not os.path.exists(self._path):
+            return
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted run
+                digest = record.get("digest")
+                if (
+                    isinstance(digest, str)
+                    and "result" in record
+                    and record.get("result_schema") == RESULT_SCHEMA_TAG
+                ):
+                    self._records[digest] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._records
+
+    def digests(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The stored record for ``digest``, or None if never simulated."""
+        return self._records.get(digest)
+
+    def put(
+        self,
+        digest: str,
+        resolved_point: Mapping[str, object],
+        result: Mapping[str, object],
+        sweep_name: str = "",
+    ) -> dict:
+        """Record one finished point: append to the JSONL file and cache it."""
+        record = {
+            "digest": digest,
+            "sweep": sweep_name,
+            "labels": resolved_point.get("labels", {}),
+            "result_schema": RESULT_SCHEMA_TAG,
+            "point": dict(resolved_point),
+            "result": dict(result),
+        }
+        directory = os.path.dirname(self._path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        self._records[digest] = record
+        return record

@@ -86,6 +86,28 @@ class YCSBWorkload:
         self._private_modulus = max(1, config.num_records - config.hot_keys)
         # conflict_fraction == 0 means chance() never draws; skip the call.
         self._has_conflicts = config.conflict_fraction > 0.0
+        # Key-choice tables and per-transaction attribute hoists: the frozen
+        # config never changes after construction, so every per-call config
+        # attribute read in the generation loop is precomputable.  None of
+        # this changes a single RNG draw — only how the drawn values are
+        # turned into keys and transactions.
+        self._conflict_fraction = config.conflict_fraction
+        self._execution_seconds = config.execution_seconds
+        self._rw_sets_known = config.rw_sets_known
+        self._num_client_ids = len(self._client_ids)
+        self._client_starts = tuple(
+            (index * self._partition_size) % config.num_records
+            for index in range(config.clients)
+        )
+        self._write_flags = tuple(
+            op_index < self._writes_target
+            for op_index in range(config.operations_per_transaction)
+        )
+        self._chance = self._rng.chance
+        self._next_txn_index = self._txn_counter.__next__
+        self._next_batch_index = self._batch_counter.__next__
+        self._hot_count = config.hot_keys
+        self._num_records = config.num_records
 
     @property
     def config(self) -> YCSBConfig:
@@ -108,15 +130,14 @@ class YCSBWorkload:
         construction time instead of rebuilding the frozen transaction with
         ``dataclasses.replace`` afterwards (the client hot path).
         """
-        config = self._config
         if client_index is None:
             client_index = self._draw_client()
-        if client_index < len(self._client_ids):
+        if client_index < self._num_client_ids:
             client_id = self._client_ids[client_index]
         else:
             client_id = f"client-{client_index}"
-        txn_id = f"txn-{next(self._txn_counter)}"
-        conflicting = self._has_conflicts and self._rng.chance(config.conflict_fraction)
+        txn_id = f"txn-{self._next_txn_index()}"
+        conflicting = self._has_conflicts and self._chance(self._conflict_fraction)
         operations = self._build_operations(client_index, conflicting)
         # Fast frozen-dataclass construction: a generated transaction is the
         # single hottest allocation in a run (batch size x clients per
@@ -128,14 +149,15 @@ class YCSBWorkload:
         txn_dict["txn_id"] = txn_id
         txn_dict["client_id"] = client_id
         txn_dict["operations"] = operations
-        txn_dict["execution_seconds"] = config.execution_seconds
-        txn_dict["rw_sets_known"] = config.rw_sets_known
+        txn_dict["execution_seconds"] = self._execution_seconds
+        txn_dict["rw_sets_known"] = self._rw_sets_known
         txn_dict["origin"] = origin
         txn_dict["request_id"] = request_id
         return txn
 
     def transactions(self, count: int, client_index: Optional[int] = None) -> List[Transaction]:
-        return [self.next_transaction(client_index) for _ in range(count)]
+        next_transaction = self.next_transaction
+        return [next_transaction(client_index) for _ in range(count)]
 
     def transaction_stream(self) -> Iterator[Transaction]:
         while True:
@@ -147,10 +169,11 @@ class YCSBWorkload:
         """Generate a batch of ``batch_size`` transactions (paper default 100)."""
         if batch_size <= 0:
             raise WorkloadError("batch_size must be positive")
-        batch_id = f"batch-{next(self._batch_counter)}"
+        batch_id = f"batch-{self._next_batch_index()}"
+        next_transaction = self.next_transaction
         return TransactionBatch(
             batch_id=batch_id,
-            transactions=tuple(self.next_transaction() for _ in range(batch_size)),
+            transactions=tuple(next_transaction() for _ in range(batch_size)),
         )
 
     def batches(self, count: int, batch_size: int) -> List[TransactionBatch]:
@@ -164,9 +187,7 @@ class YCSBWorkload:
             return self._build_operations_uniform(client_index)
         operations: List[Operation] = []
         append = operations.append
-        writes_target = self._writes_target
-        for op_index in range(config.operations_per_transaction):
-            is_write = op_index < writes_target
+        for op_index, is_write in enumerate(self._write_flags):
             if conflicting and op_index == 0:
                 # Conflicting transactions contend on the shared hot set, and the
                 # contended operation is always a write so any two of them conflict.
@@ -193,25 +214,26 @@ class YCSBWorkload:
         default workload's innermost loop (hundreds of thousands of calls per
         simulated second), so the key-draw helpers are expanded in place.
         """
-        config = self._config
         operations: List[Operation] = []
         append = operations.append
-        writes_target = self._writes_target
-        start = (client_index * self._partition_size) % config.num_records
-        hot_keys = config.hot_keys
+        starts = self._client_starts
+        if client_index < len(starts):
+            start = starts[client_index]
+        else:
+            start = (client_index * self._partition_size) % self._num_records
+        hot_keys = self._hot_count
         modulus = self._private_modulus
         draw_offset = self._draw_offset
         draw_value = self._draw_value
         strings = self._key_strings
         strings_get = strings.get
         operation_new = Operation.__new__
-        for op_index in range(config.operations_per_transaction):
+        for is_write in self._write_flags:
             index = hot_keys + (start + draw_offset()) % modulus
             key = strings_get(index)
             if key is None:
                 key = f"user{index}"
                 strings[index] = key
-            is_write = op_index < writes_target
             op = operation_new(Operation)
             op_dict = op.__dict__
             op_dict["key"] = key
@@ -232,13 +254,17 @@ class YCSBWorkload:
 
     def _private_key(self, client_index: int) -> str:
         config = self._config
-        start = (client_index * self._partition_size) % config.num_records
+        starts = self._client_starts
+        if client_index < len(starts):
+            start = starts[client_index]
+        else:
+            start = (client_index * self._partition_size) % self._num_records
         if config.zipfian_theta > 0:
             offset = self._rng.zipf_index(self._partition_size, config.zipfian_theta)
         else:
             offset = self._draw_offset()
         # Skip the hot range so private keys never collide with hot keys.
-        index = config.hot_keys + (start + offset) % self._private_modulus
+        index = self._hot_count + (start + offset) % self._private_modulus
         strings = self._key_strings
         key = strings.get(index)
         if key is None:

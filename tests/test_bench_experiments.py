@@ -1,10 +1,17 @@
 """Tests for the benchmark harness and per-figure experiment definitions."""
 
+import warnings
+
 import pytest
 
 from repro.bench import experiments
 from repro.bench.defaults import PAPER, SCALE
-from repro.bench.harness import ExperimentTable, format_table, simulate_point
+from repro.bench.harness import (
+    DuplicateSeriesKeyWarning,
+    ExperimentTable,
+    format_table,
+    simulate_point,
+)
 
 
 # ------------------------------------------------------------------ harness
@@ -19,6 +26,24 @@ def test_experiment_table_series_and_filters():
     assert table.column("x") == [1, 2, 1]
     assert table.series("x", "y", system="A") == {1: 10.0, 2: 20.0}
     assert table.series("x", "y", system="B") == {1: 5.0}
+
+
+def test_series_warns_on_duplicate_keys():
+    table = ExperimentTable(name="dups", columns=("system", "x", "y"))
+    table.add(system="A", x=1, y=10.0)
+    table.add(system="B", x=1, y=5.0)
+    # Without a system filter both rows collapse onto key 1: that silently
+    # dropped data before — now it must warn (last row still wins)...
+    with pytest.warns(DuplicateSeriesKeyWarning, match="duplicate series key 1"):
+        series = table.series("x", "y")
+    assert series == {1: 5.0}
+    # ...or raise in strict mode.
+    with pytest.raises(ValueError, match="duplicate series key"):
+        table.series("x", "y", strict=True)
+    # A filter that uniquely identifies rows stays silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert table.series("x", "y", system="A") == {1: 10.0}
 
 
 def test_format_table_renders_all_rows():

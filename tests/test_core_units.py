@@ -174,6 +174,22 @@ def test_decentralized_spawn_policy_every_node_spawns():
     assert policy.expected_total() == 4
 
 
+def test_decentralized_spawn_plan_is_process_stable():
+    # The region stagger must not depend on the builtin (per-process
+    # randomised) string hash: every process simulating this deployment —
+    # parallel sweep workers included — must pick the same regions.
+    import zlib
+
+    regions = ["r1", "r2", "r3"]
+    policy = DecentralizedSpawnPolicy(
+        num_executors=3, regions=regions, shim_nodes=4, shim_faults=1
+    )
+    for index in range(4):
+        node = f"node-{index}"
+        expected = regions[zlib.crc32(node.encode("utf-8")) % len(regions)]
+        assert policy.plan(node, is_primary=False).regions == [expected]
+
+
 def test_spawn_policies_require_regions():
     with pytest.raises(ConfigurationError):
         PrimarySpawnPolicy(num_executors=3, regions=[])

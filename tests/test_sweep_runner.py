@@ -1,0 +1,355 @@
+"""Sweep execution tests: parallel determinism, caching, serialization, CLI.
+
+The load-bearing guarantees (ISSUE 2 acceptance criteria):
+
+* a sweep run with ``workers=4`` produces byte-identical point digests and
+  simulated metrics to the same sweep run in-process, and
+* a second run against the same result store is a 100% cache hit — zero
+  points re-simulated.
+"""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    PointSpec,
+    ResultStore,
+    SweepSpec,
+    result_from_dict,
+    result_to_dict,
+    run_sweep,
+    simulate_resolved_point,
+    simulated_fingerprint,
+)
+from repro.sweep.cli import main as sweep_cli
+from repro.sweep.runner import build_simulation
+
+
+def _tiny_sweep(name="tiny"):
+    """Two fast points (fast crypto, 60 clients, 0.4 s virtual)."""
+    shared = {"crypto_backend": "fast", "num_clients": 60, "client_groups": 4}
+    return SweepSpec(
+        name=name,
+        points=tuple(
+            PointSpec(
+                labels={"batch_size": batch_size},
+                config=dict(shared, batch_size=batch_size),
+                workload={"clients": 60},
+                duration=0.4,
+                warmup=0.1,
+            )
+            for batch_size in (5, 20)
+        ),
+    )
+
+
+# ------------------------------------------------------------------ serial
+
+
+def test_serial_run_produces_results():
+    report = run_sweep(_tiny_sweep())
+    assert report.simulated == 2 and report.cached == 0 and report.failed == 0
+    for outcome in report.outcomes:
+        assert outcome.ok
+        assert outcome.result.committed_txns > 0
+        assert len(outcome.digest) == 64
+    table = report.table()
+    assert table.column("batch_size") == [5, 20]
+    assert all(value > 0 for value in table.column("throughput_txn_s"))
+
+
+def test_result_round_trips_through_dict():
+    report = run_sweep(_tiny_sweep())
+    original = report.outcomes[0].result
+    rebuilt = result_from_dict(result_to_dict(original))
+    assert rebuilt == original
+
+
+def test_failed_points_are_reported_not_raised():
+    good = _tiny_sweep().points[0]
+    # Rejected at resolution time (ProtocolConfig.validate).
+    bad_config = PointSpec(
+        labels={"kind": "bad-config"},
+        config={"client_groups": 0},
+        duration=0.4,
+        warmup=0.1,
+    )
+    # Resolves fine but blows up when the deployment is built.
+    bad_engine = PointSpec(
+        labels={"kind": "bad-engine"},
+        consensus_engine="raft",
+        duration=0.4,
+        warmup=0.1,
+    )
+    report = run_sweep(SweepSpec(name="mixed", points=(good, bad_config, bad_engine)))
+    assert report.simulated == 1 and report.failed == 2
+    assert report.outcomes[1].error is not None
+    assert "raft" in report.outcomes[2].error
+    # Failed points contribute no table rows.
+    assert len(report.table()) == 1
+
+
+# ------------------------------------------------------------------ parallel determinism
+
+
+def test_parallel_matches_serial_bit_for_bit_and_caches():
+    """ISSUE 2 acceptance: workers=4 == in-process, then 100% cache hits."""
+    sweep = _tiny_sweep("determinism")
+    serial = run_sweep(sweep)
+
+    store_path_free_run = run_sweep(sweep, workers=4)
+    assert store_path_free_run.simulated == 2 and store_path_free_run.failed == 0
+
+    # Identical digests in identical order...
+    serial_digests = [outcome.digest for outcome in serial.outcomes]
+    parallel_digests = [outcome.digest for outcome in store_path_free_run.outcomes]
+    assert serial_digests == parallel_digests
+
+    # ...and byte-identical simulated metrics (host wall-clock excluded).
+    for left, right in zip(serial.outcomes, store_path_free_run.outcomes):
+        assert json.dumps(
+            simulated_fingerprint(left.result_dict), sort_keys=True
+        ) == json.dumps(simulated_fingerprint(right.result_dict), sort_keys=True)
+
+
+def test_second_run_is_full_cache_hit(tmp_path):
+    sweep = _tiny_sweep("cache-hit")
+    store = ResultStore(str(tmp_path / "results.jsonl"))
+    first = run_sweep(sweep, store=store)
+    assert first.simulated == 2 and first.cached == 0
+
+    # Fresh store instance: must reload the JSONL records from disk.
+    reloaded = ResultStore(str(tmp_path / "results.jsonl"))
+    assert len(reloaded) == 2
+    second = run_sweep(sweep, workers=4, store=reloaded)
+    assert second.simulated == 0 and second.cached == 2 and second.failed == 0
+    for left, right in zip(first.outcomes, second.outcomes):
+        assert simulated_fingerprint(left.result_dict) == simulated_fingerprint(
+            right.result_dict
+        )
+
+
+def test_interrupted_sweep_resumes(tmp_path):
+    sweep = _tiny_sweep("resume")
+    store = ResultStore(str(tmp_path / "results.jsonl"))
+    # Simulate an interruption: only the first point made it into the store.
+    only_first = SweepSpec(name="resume", points=(sweep.points[0],), seed=sweep.seed)
+    run_sweep(only_first, store=store)
+    report = run_sweep(sweep, store=store)
+    assert report.cached == 1 and report.simulated == 1
+
+
+def test_store_ignores_records_with_stale_result_schema(tmp_path):
+    path = tmp_path / "results.jsonl"
+    sweep = _tiny_sweep("schema")
+    run_sweep(sweep, store=ResultStore(str(path)))
+    # Rewrite the records as if produced by an older SimulationResult layout:
+    # they must register as cache misses, not deserialisation crashes.
+    lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in lines:
+            record["result_schema"] = "0" * 12
+            handle.write(json.dumps(record) + "\n")
+    stale = ResultStore(str(path))
+    assert len(stale) == 0
+    report = run_sweep(sweep, store=stale)
+    assert report.simulated == 2 and report.cached == 0
+
+
+def test_duplicate_digest_points_simulate_once():
+    # Two pinned-seed points with identical configs share a digest: only the
+    # representative runs, the twin is served from its result.
+    twin_points = tuple(
+        PointSpec(
+            labels={"replicate": index},
+            config={"crypto_backend": "fast", "num_clients": 60, "client_groups": 4},
+            workload={"clients": 60},
+            seed=5,
+            duration=0.4,
+            warmup=0.1,
+        )
+        for index in range(2)
+    )
+    report = run_sweep(SweepSpec(name="twins", points=twin_points))
+    assert report.outcomes[0].digest == report.outcomes[1].digest
+    assert report.simulated == 1 and report.cached == 1 and report.failed == 0
+    assert simulated_fingerprint(report.outcomes[0].result_dict) == (
+        simulated_fingerprint(report.outcomes[1].result_dict)
+    )
+
+
+def test_runtime_registered_scenario_works_in_parallel_workers():
+    from repro.sweep import Scenario, register_scenario
+
+    register_scenario(
+        Scenario(
+            name="unit-test-custom",
+            description="runtime-registered preset for the worker-init test",
+            workload_overrides={"write_fraction": 0.25},
+        ),
+        replace=True,
+    )
+    points = tuple(
+        PointSpec(
+            labels={"b": batch_size},
+            scenario="unit-test-custom",
+            config={"batch_size": batch_size, "crypto_backend": "fast"},
+            duration=0.4,
+            warmup=0.1,
+        )
+        for batch_size in (5, 10)
+    )
+    report = run_sweep(SweepSpec(name="custom-scenario", points=points), workers=2)
+    assert report.failed == 0 and report.simulated == 2
+
+
+def test_store_skips_torn_trailing_line(tmp_path):
+    path = tmp_path / "results.jsonl"
+    sweep = _tiny_sweep("torn")
+    run_sweep(sweep, store=ResultStore(str(path)))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"digest": "truncated-')
+    reloaded = ResultStore(str(path))
+    assert len(reloaded) == 2
+
+
+def test_parallel_stall_timeout_fails_running_points_promptly():
+    import time
+
+    points = tuple(
+        PointSpec(
+            labels={"b": batch_size},
+            config={"batch_size": batch_size, "crypto_backend": "fast"},
+            duration=2.0,
+            warmup=0.2,
+        )
+        for batch_size in (5, 10)
+    )
+    started = time.perf_counter()
+    report = run_sweep(
+        SweepSpec(name="stall", points=points), workers=2, timeout=0.05
+    )
+    elapsed = time.perf_counter() - started
+    assert report.failed == 2
+    assert all("no result within" in outcome.error for outcome in report.outcomes)
+    # The hung workers are terminated instead of blocking pool shutdown: the
+    # call must return long before the 2 s points would have finished.
+    assert elapsed < 10.0
+
+
+# ------------------------------------------------------------------ scenarios end-to-end
+
+
+@pytest.mark.parametrize("scenario", ["region-outage", "byzantine-executors"])
+def test_scenario_points_simulate(scenario):
+    point = PointSpec(
+        labels={"scenario": scenario},
+        scenario=scenario,
+        config={"num_clients": 40, "client_groups": 2},
+        workload={"clients": 40},
+        duration=0.4,
+        warmup=0.1,
+    )
+    report = run_sweep(SweepSpec(name="drill", points=(point,)))
+    assert report.failed == 0
+    assert report.outcomes[0].result.committed_txns > 0
+
+
+def test_baseline_system_points_simulate():
+    points = tuple(
+        PointSpec(
+            labels={"system": system},
+            system=system,
+            config={"crypto_backend": "fast", "num_clients": 40, "client_groups": 2},
+            workload={"clients": 40},
+            execution_threads=2,
+            duration=0.4,
+            warmup=0.1,
+        )
+        for system in ("serverless_cft", "pbft_replicated", "noshim")
+    )
+    report = run_sweep(SweepSpec(name="systems", points=points))
+    assert report.failed == 0
+    assert all(outcome.result.committed_txns > 0 for outcome in report.outcomes)
+
+
+def test_region_outage_plan_drops_executor_region_traffic():
+    from repro.sweep import resolve_point
+
+    sweep = _tiny_sweep("outage-probe")
+    point = sweep.points[0]
+    resolved = dict(resolve_point(sweep, point), scenario="region-outage")
+    simulation = build_simulation(resolved)
+    plan = simulation.network.fault_plan
+    simulation.network.register("probe-endpoint", "us-east-2", lambda *_args: None)
+    assert plan.is_partitioned("probe-endpoint", "verifier")
+    assert not plan.is_partitioned("node-0", "verifier")
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def test_cli_run_and_cache_cycle(tmp_path, capsys):
+    store = str(tmp_path / "cli.jsonl")
+    args = ["run", "smoke", "--duration", "0.3", "--warmup", "0.05", "--store", store]
+    assert sweep_cli(args) == 0
+    output = capsys.readouterr().out
+    assert "simulated=4 cached=0 failed=0" in output
+
+    # Second run: everything cached, --expect-all-cached passes.
+    assert sweep_cli(args + ["--expect-all-cached"]) == 0
+    output = capsys.readouterr().out
+    assert "simulated=0 cached=4 failed=0" in output
+
+
+def test_cli_expect_all_cached_fails_on_cold_store(tmp_path, capsys):
+    store = str(tmp_path / "cold.jsonl")
+    code = sweep_cli(
+        [
+            "run",
+            "smoke",
+            "--duration",
+            "0.3",
+            "--warmup",
+            "0.05",
+            "--store",
+            store,
+            "--expect-all-cached",
+            "--quiet",
+        ]
+    )
+    assert code == 3
+
+
+def test_cli_runs_sweep_file(tmp_path, capsys):
+    sweep_file = tmp_path / "custom.json"
+    sweep_file.write_text(
+        json.dumps(
+            {
+                "name": "custom-file-sweep",
+                "duration": 0.3,
+                "warmup": 0.05,
+                "config": {
+                    "crypto_backend": "fast",
+                    "num_clients": 40,
+                    "client_groups": 2,
+                },
+                "workload": {"clients": 40},
+                "grid": {"batch_size": [5, 10]},
+            }
+        )
+    )
+    assert sweep_cli(["run", str(sweep_file), "--quiet"]) == 0
+    assert "custom-file-sweep" in capsys.readouterr().out
+
+
+def test_cli_list_and_scenarios(capsys):
+    assert sweep_cli(["list"]) == 0
+    assert "smoke" in capsys.readouterr().out
+    assert sweep_cli(["scenarios"]) == 0
+    assert "region-outage" in capsys.readouterr().out
+
+
+def test_cli_unknown_sweep_errors(capsys):
+    assert sweep_cli(["run", "definitely-not-a-sweep"]) == 2

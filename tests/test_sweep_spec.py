@@ -1,0 +1,216 @@
+"""Tests for the declarative sweep layer: grids, resolution, digests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import (
+    GridSpec,
+    PointSpec,
+    SweepSpec,
+    get_scenario,
+    point_digest,
+    resolve_point,
+    scenario_names,
+    sweep_from_dict,
+    sweep_from_grid,
+)
+from repro.sweep.spec import point_seed
+
+
+# ------------------------------------------------------------------ grids
+
+
+def test_grid_expands_row_major():
+    grid = GridSpec({"a": (1, 2), "b": ("x", "y", "z")})
+    combos = grid.combinations()
+    assert len(grid) == 6 and len(combos) == 6
+    assert combos[0] == {"a": 1, "b": "x"}
+    assert combos[1] == {"a": 1, "b": "y"}
+    assert combos[3] == {"a": 2, "b": "x"}
+    assert grid.axis_names == ("a", "b")
+
+
+def test_grid_rejects_empty_axis_and_duplicates():
+    with pytest.raises(ConfigurationError):
+        GridSpec({"a": ()})
+    with pytest.raises(ConfigurationError):
+        GridSpec((("a", (1,)), ("a", (2,))))
+
+
+def test_point_spec_validation():
+    with pytest.raises(ConfigurationError):
+        PointSpec(system="martian")
+    with pytest.raises(ConfigurationError):
+        PointSpec(duration=0.0)
+    with pytest.raises(ConfigurationError):
+        PointSpec(duration=1.0, warmup=1.0)
+
+
+def test_sweep_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SweepSpec(name="", points=(PointSpec(),))
+    with pytest.raises(ConfigurationError):
+        SweepSpec(name="empty", points=())
+    with pytest.raises(ConfigurationError):
+        SweepSpec(name="s", points=(PointSpec(),), base="nope")
+
+
+# ------------------------------------------------------------------ resolution
+
+
+def _sweep(**kwargs):
+    point = PointSpec(
+        labels={"batch_size": 5},
+        config={"batch_size": 5},
+        duration=0.5,
+        warmup=0.1,
+        **kwargs,
+    )
+    return SweepSpec(name="unit", points=(point,)), point
+
+
+def test_resolution_pins_every_config_field():
+    sweep, point = _sweep()
+    resolved = resolve_point(sweep, point)
+    assert resolved["config"]["batch_size"] == 5
+    # The base "scale" deployment fills in the remaining fields.
+    assert resolved["config"]["shim_nodes"] == 4
+    assert resolved["workload"]["num_records"] == 5_000
+    assert resolved["duration"] == 0.5
+    # The derived per-point seed is materialised into both configs.
+    assert resolved["config"]["seed"] == point_seed(sweep, point)
+    assert resolved["workload"]["seed"] != resolved["config"]["seed"]
+
+
+def test_point_seed_is_stable_and_label_dependent():
+    sweep, point = _sweep()
+    assert point_seed(sweep, point) == point_seed(sweep, point)
+    other = PointSpec(labels={"batch_size": 6}, config={"batch_size": 6})
+    assert point_seed(sweep, point) != point_seed(sweep, other)
+    pinned = PointSpec(labels={"batch_size": 5}, seed=77)
+    assert point_seed(sweep, pinned) == 77
+
+
+def test_digest_stable_and_covers_only_simulated_knobs():
+    sweep, point = _sweep()
+    resolved = resolve_point(sweep, point)
+    digest_one = point_digest(resolved)
+    digest_two = point_digest(resolve_point(sweep, point))
+    assert digest_one == digest_two
+    # Labels themselves never enter the address (seed already materialised).
+    relabelled = dict(resolved, labels={"renamed": True})
+    assert point_digest(relabelled) == digest_one
+    # Any simulated knob does change the address.
+    changed = dict(resolved, duration=0.6)
+    assert point_digest(changed) != digest_one
+
+
+def test_relabelling_shares_cache_only_with_pinned_seeds():
+    # Pinned seed: labels are pure presentation, the address is unchanged.
+    pinned_a = PointSpec(labels={"batch_size": 5}, config={"batch_size": 5}, seed=7)
+    pinned_b = PointSpec(labels={"bs": 5}, config={"batch_size": 5}, seed=7)
+    sweep = SweepSpec(name="unit", points=(pinned_a, pinned_b))
+    assert point_digest(resolve_point(sweep, pinned_a)) == point_digest(
+        resolve_point(sweep, pinned_b)
+    )
+    # Derived seed: different labels mean a different derived seed, hence a
+    # different address (independent replicates, not cache-sharing aliases).
+    derived_a = PointSpec(labels={"batch_size": 5}, config={"batch_size": 5})
+    derived_b = PointSpec(labels={"bs": 5}, config={"batch_size": 5})
+    assert point_digest(resolve_point(sweep, derived_a)) != point_digest(
+        resolve_point(sweep, derived_b)
+    )
+
+
+def test_digest_survives_json_round_trip():
+    import json
+
+    sweep, point = _sweep()
+    resolved = resolve_point(sweep, point)
+    round_tripped = json.loads(json.dumps(resolved))
+    assert point_digest(round_tripped) == point_digest(resolved)
+
+
+def test_scenario_overrides_sit_under_point_overrides():
+    point = PointSpec(
+        labels={},
+        scenario="conflict-heavy",
+        workload={"conflict_fraction": 0.5},
+        duration=0.5,
+        warmup=0.1,
+    )
+    sweep = SweepSpec(name="unit", points=(point,))
+    resolved = resolve_point(sweep, point)
+    # The point override wins over the scenario's 0.3 default.
+    assert resolved["workload"]["conflict_fraction"] == 0.5
+    assert resolved["workload"]["rw_sets_known"] is False
+
+
+# ------------------------------------------------------------------ scenarios
+
+
+def test_scenario_registry_contents():
+    names = scenario_names()
+    for expected in (
+        "baseline",
+        "region-outage",
+        "network-partition",
+        "byzantine-executors",
+        "skewed-ycsb",
+    ):
+        assert expected in names
+    with pytest.raises(ConfigurationError):
+        get_scenario("not-a-scenario")
+
+
+# ------------------------------------------------------------------ grid -> sweep
+
+
+def test_sweep_from_grid_routes_axes():
+    sweep = sweep_from_grid(
+        name="routing",
+        grid=GridSpec(
+            {
+                "batch_size": (5, 10),
+                "write_fraction": (0.5,),
+                "scenario": ("baseline", "lossy-network"),
+            }
+        ),
+        duration=0.5,
+        warmup=0.1,
+    )
+    assert len(sweep) == 4
+    first = sweep.points[0]
+    assert first.config == {"batch_size": 5}
+    assert first.workload == {"write_fraction": 0.5}
+    assert {point.scenario for point in sweep.points} == {"baseline", "lossy-network"}
+
+
+def test_sweep_from_grid_rejects_unknown_axis_and_shadowed_constant():
+    with pytest.raises(ConfigurationError):
+        sweep_from_grid(name="bad", grid=GridSpec({"warp_factor": (9,)}))
+    with pytest.raises(ConfigurationError):
+        sweep_from_grid(
+            name="bad",
+            grid=GridSpec({"batch_size": (5,)}),
+            config={"batch_size": 10},
+        )
+
+
+def test_sweep_from_dict():
+    sweep = sweep_from_dict(
+        {
+            "name": "filed",
+            "seed": 9,
+            "duration": 0.5,
+            "warmup": 0.1,
+            "grid": {"num_executors": [3, 5]},
+            "config": {"crypto_backend": "fast"},
+        }
+    )
+    assert sweep.name == "filed" and sweep.seed == 9 and len(sweep) == 2
+    assert sweep.points[0].config["crypto_backend"] == "fast"
+    with pytest.raises(ConfigurationError):
+        sweep_from_dict({"name": "no-grid"})
+    with pytest.raises(ConfigurationError):
+        sweep_from_dict({"grid": {"batch_size": [5]}})
