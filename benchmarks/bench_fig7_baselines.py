@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from conftest import emit, run_measured_sweep
 
+from repro.api import all_systems
 from repro.bench import experiments
 from repro.sweep import PointSpec
 
@@ -56,11 +57,12 @@ def test_fig7_simulated_points(benchmark, sim_scale):
                     duration=1.0,
                     warmup=0.2,
                 )
+                # The comparison set comes from the system registry: every
+                # adapter the analytical model also covers participates.
                 for label, system in (
-                    ("SERVERLESSBFT", "serverless_bft"),
-                    ("SERVERLESSCFT", "serverless_cft"),
-                    ("NOSHIM", "noshim"),
-                    ("PBFT", "pbft_replicated"),
+                    (adapter.display_name, adapter.name)
+                    for adapter in all_systems()
+                    if adapter.model_kind is not None
                 )
             ],
             metrics=(

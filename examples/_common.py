@@ -1,0 +1,13 @@
+"""Shared helpers for the runnable examples.
+
+CI's ``examples-smoke`` job runs every example with
+``REPRO_EXAMPLE_DURATION=0.4`` so facade regressions in user-facing code
+surface quickly; interactive runs use each example's own default.
+"""
+
+import os
+
+
+def example_duration(default: float) -> float:
+    """Virtual-seconds budget for an example run, overridable from CI."""
+    return float(os.environ.get("REPRO_EXAMPLE_DURATION", default))

@@ -13,10 +13,18 @@ Three scenarios from Section V and VI:
    and flood the verifier with duplicates; the matching quorum filters them
    out and the storage is updated only with the honest result.
 
+The bespoke fault objects attach directly to the :class:`repro.api.RunSpec`
+(``node_behaviours`` / ``executor_behaviour_factory``) — the facade
+validates them against the selected system's declared capabilities, so the
+same spec would fail loudly on a system that cannot host the fault.
+
 Run with:  python examples/byzantine_attack_drill.py
+(CI runs every example with REPRO_EXAMPLE_DURATION=0.4 as a smoke test.)
 """
 
-from repro import ProtocolConfig, ServerlessBFTSimulation, YCSBConfig
+from _common import example_duration
+
+from repro.api import RunSpec, run
 from repro.faults.byzantine import (
     DuplicateVerifyBehaviour,
     FewerExecutorsBehaviour,
@@ -25,52 +33,52 @@ from repro.faults.byzantine import (
 )
 from repro.faults.injector import PerBatchExecutorFaults
 
+#: Small deployment with tight timeouts so recovery fits in a short run.
+BASE_OVERRIDES = {
+    "protocol.shim_nodes": 4,
+    "protocol.num_executors": 3,
+    "protocol.num_executor_regions": 3,
+    "protocol.batch_size": 10,
+    "protocol.num_clients": 40,
+    "protocol.client_groups": 4,
+    "protocol.client_timeout": 0.5,
+    "protocol.node_request_timeout": 0.8,
+    "protocol.verifier_quorum_timeout": 0.5,
+    "protocol.retransmission_timeout": 0.5,
+    "workload.num_records": 5_000,
+    "workload.clients": 40,
+}
 
-def base_config(**overrides) -> ProtocolConfig:
-    params = dict(
-        shim_nodes=4,
-        num_executors=3,
-        num_executor_regions=3,
-        batch_size=10,
-        num_clients=40,
-        client_groups=4,
-        client_timeout=0.5,
-        node_request_timeout=0.8,
-        verifier_quorum_timeout=0.5,
-        retransmission_timeout=0.5,
+
+def drill_spec(duration: float, **fault_kwargs) -> RunSpec:
+    return RunSpec(
+        system="serverless_bft",
+        base="default",
+        overrides=BASE_OVERRIDES,
+        duration=duration,
+        warmup=0.0,
+        **fault_kwargs,
     )
-    params.update(overrides)
-    return ProtocolConfig(**params)
-
-
-def workload() -> YCSBConfig:
-    return YCSBConfig(num_records=5_000, clients=40)
 
 
 def scenario_request_suppression() -> None:
     print("\n[1] Request suppression: byzantine primary drops every request")
-    simulation = ServerlessBFTSimulation(
-        base_config(),
-        workload=workload(),
+    result = run(drill_spec(
+        example_duration(6.0),
         node_behaviours={"node-0": RequestIgnoranceBehaviour(drop_every=1)},
-    )
-    result = simulation.run(duration=6.0, warmup=0.0)
-    primary_after = simulation.nodes[1].current_primary
+    ))
     print(f"    client retransmissions to the verifier : {result.client_retransmissions}")
     print(f"    verifier ERROR broadcasts               : {result.verifier_errors_sent}")
     print(f"    view changes installed                  : {result.view_changes}")
-    print(f"    primary after recovery                  : {primary_after}")
     print(f"    transactions committed despite attack   : {result.committed_txns}")
 
 
 def scenario_fewer_executors() -> None:
     print("\n[2] Fewer executors: byzantine primary spawns only 1 of 3 executors")
-    simulation = ServerlessBFTSimulation(
-        base_config(),
-        workload=workload(),
+    result = run(drill_spec(
+        example_duration(6.0),
         node_behaviours={"node-0": FewerExecutorsBehaviour(spawn_at_most=1)},
-    )
-    result = simulation.run(duration=6.0, warmup=0.0)
+    ))
     print(f"    REPLACE messages from the verifier      : {result.verifier_replace_sent}")
     print(f"    view changes installed                  : {result.view_changes}")
     print(f"    transactions committed despite attack   : {result.committed_txns}")
@@ -79,12 +87,9 @@ def scenario_fewer_executors() -> None:
 def scenario_byzantine_executors() -> None:
     print("\n[3] Byzantine executors: f_E executors fabricate results and flood")
     wrong_result = PerBatchExecutorFaults(count=1, behaviour_factory=WrongResultBehaviour)
-    simulation = ServerlessBFTSimulation(
-        base_config(),
-        workload=workload(),
-        executor_behaviour_factory=wrong_result,
-    )
-    result = simulation.run(duration=4.0, warmup=0.0)
+    result = run(drill_spec(
+        example_duration(4.0), executor_behaviour_factory=wrong_result
+    ))
     print(f"    transactions committed                  : {result.committed_txns}")
     print(f"    transactions aborted                    : {result.aborted_txns}")
     print(f"    duplicate/ignored VERIFY messages       : {result.verifier_ignored_verify}")
@@ -92,12 +97,9 @@ def scenario_byzantine_executors() -> None:
     flooding = PerBatchExecutorFaults(
         count=1, behaviour_factory=lambda: DuplicateVerifyBehaviour(copies=10)
     )
-    simulation = ServerlessBFTSimulation(
-        base_config(),
-        workload=workload(),
-        executor_behaviour_factory=flooding,
-    )
-    result = simulation.run(duration=4.0, warmup=0.0)
+    result = run(drill_spec(
+        example_duration(4.0), executor_behaviour_factory=flooding
+    ))
     print(f"    with flooding executors, ignored VERIFY : {result.verifier_ignored_verify}")
     print(f"    throughput still sustained              : {result.throughput_txn_per_sec:,.0f} txn/s")
 

@@ -7,13 +7,17 @@ devices (classic replicated PBFT) or offload execution to serverless
 executors (ServerlessBFT).  This example quantifies both options — peak
 throughput and cents per thousand transactions — first with the analytical
 model over the paper's full sweep and then with one measured simulation
-point per system.
+point per system.  Both measured points are the *same* ``RunSpec`` with a
+different ``system``: the registry builds whichever deployment the name
+selects.
 
 Run with:  python examples/offload_economics.py
+(CI runs every example with REPRO_EXAMPLE_DURATION=0.4 as a smoke test.)
 """
 
-from repro import ProtocolConfig, ServerlessBFTSimulation, YCSBConfig
-from repro.baselines import PBFTReplicatedSimulation
+from _common import example_duration
+
+from repro.api import RunSpec, run
 from repro.bench import experiments
 from repro.bench.harness import format_table
 
@@ -24,25 +28,30 @@ def model_sweep() -> None:
 
 
 def measured_point(execution_ms: int = 100) -> None:
-    config = ProtocolConfig(
-        shim_nodes=4,
-        num_executors=3,
-        num_executor_regions=3,
-        batch_size=25,
-        num_clients=200,
-        client_groups=8,
-    )
-    workload = YCSBConfig(
-        num_records=10_000, clients=200, execution_seconds=execution_ms / 1000.0
-    )
+    duration = example_duration(2.0)
 
-    serverless = ServerlessBFTSimulation(config, workload=workload, tracer_enabled=False)
-    serverless_result = serverless.run(duration=2.0, warmup=0.4)
+    def spec(system: str, execution_threads: int = 16) -> RunSpec:
+        return RunSpec(
+            system=system,
+            base="default",
+            overrides={
+                "protocol.shim_nodes": 4,
+                "protocol.num_executors": 3,
+                "protocol.num_executor_regions": 3,
+                "protocol.batch_size": 25,
+                "protocol.num_clients": 200,
+                "protocol.client_groups": 8,
+                "workload.num_records": 10_000,
+                "workload.clients": 200,
+                "workload.execution_seconds": execution_ms / 1000.0,
+            },
+            execution_threads=execution_threads,
+            duration=duration,
+            warmup=min(0.4, duration / 5),
+        )
 
-    edge_only = PBFTReplicatedSimulation(
-        config, workload=workload, execution_threads=1, tracer_enabled=False
-    )
-    edge_result = edge_only.run(duration=2.0, warmup=0.4)
+    serverless_result = run(spec("serverless_bft"))
+    edge_result = run(spec("pbft_replicated", execution_threads=1))
 
     print(f"\nmeasured point ({execution_ms} ms execution per batch):")
     print(

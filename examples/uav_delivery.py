@@ -14,34 +14,42 @@ The example contrasts two fleets:
 * a metropolitan fleet of 16 drones,
 
 both processing transactions with a 100 ms compute phase (a small ML
-inference per batch of telemetry).
+inference per batch of telemetry).  Each fleet is one ``RunSpec`` — the
+fleet size is the only override that changes.
 
 Run with:  python examples/uav_delivery.py
+(CI runs every example with REPRO_EXAMPLE_DURATION=0.4 as a smoke test.)
 """
 
-from repro import ProtocolConfig, ServerlessBFTSimulation, YCSBConfig
+from _common import example_duration
+
+from repro.api import RunSpec, run
 
 
 def run_fleet(drones: int) -> None:
-    config = ProtocolConfig(
-        shim_nodes=drones,
-        shim_cores=8,              # drones carry modest compute
-        num_executors=3,
-        num_executor_regions=3,    # nearest cloud regions to the fleet
-        batch_size=25,
-        num_clients=200,           # each drone also issues client requests
-        client_groups=8,
-        spawn_api_cost=0.0008,
+    duration = example_duration(3.0)
+    spec = RunSpec(
+        system="serverless_bft",
+        base="default",
+        overrides={
+            "protocol.shim_nodes": drones,
+            "protocol.shim_cores": 8,             # drones carry modest compute
+            "protocol.num_executors": 3,
+            "protocol.num_executor_regions": 3,   # nearest cloud regions to the fleet
+            "protocol.batch_size": 25,
+            "protocol.num_clients": 200,          # each drone also issues client requests
+            "protocol.client_groups": 8,
+            "protocol.spawn_api_cost": 0.0008,
+            "workload.num_records": 10_000,
+            "workload.operations_per_transaction": 4,
+            "workload.write_fraction": 0.5,
+            "workload.execution_seconds": 0.1,    # on-flight ML inference, offloaded
+            "workload.clients": 200,
+        },
+        duration=duration,
+        warmup=min(0.5, duration / 4),
     )
-    workload = YCSBConfig(
-        num_records=10_000,
-        operations_per_transaction=4,
-        write_fraction=0.5,
-        execution_seconds=0.1,     # on-flight ML inference offloaded to the cloud
-        clients=200,
-    )
-    simulation = ServerlessBFTSimulation(config, workload=workload)
-    result = simulation.run(duration=3.0, warmup=0.5)
+    result = run(spec)
 
     print(f"fleet of {drones:2d} drones:"
           f"  throughput {result.throughput_txn_per_sec:8,.0f} txn/s"

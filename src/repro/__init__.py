@@ -9,10 +9,14 @@ and a benchmark harness that regenerates every figure of the paper.
 
 Typical entry points:
 
+* :mod:`repro.api` — the front door: ``run(RunSpec(...))`` builds and runs
+  any registered system with composed scenarios and dotted-key overrides.
 * :class:`repro.core.config.ProtocolConfig` — configure a deployment.
-* :class:`repro.core.runner.ServerlessBFTSimulation` — build and run a
-  message-level simulation of the full architecture.
 * :mod:`repro.bench.experiments` — regenerate the paper's figures.
+
+(`ServerlessBFTSimulation` and the baseline builders remain importable but
+are deprecated as *direct* entry points — construct deployments through
+``repro.api`` instead.)
 """
 
 from repro.core.config import ProtocolConfig
@@ -21,11 +25,23 @@ from repro.workload.ycsb import YCSBConfig, YCSBWorkload
 
 __all__ = [
     "ProtocolConfig",
+    "RunSpec",
     "ServerlessBFTSimulation",
     "SimulationResult",
     "YCSBConfig",
     "YCSBWorkload",
     "__version__",
+    "run",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy so that ``import repro`` stays light; the facade pulls in the
+    # sweep/scenario layers.
+    if name in ("RunSpec", "run"):
+        from repro.api import RunSpec, run
+
+        return {"RunSpec": RunSpec, "run": run}[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"

@@ -1,0 +1,152 @@
+"""The front door: ``run(RunSpec) -> SimulationResult``.
+
+Everything user-facing funnels through here — examples, benches, the sweep
+runner, and the CLI all resolve a spec to a plain-JSON dict
+(:func:`resolve`), build the deployment through the system registry
+(:func:`build_deployment`), and run it.  One resolution path, one
+capability-validation path, one construction path: a point simulated by
+``repro.api.run`` is bit-identical to the same point simulated by a sweep
+worker on another core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.api.registry import get_system
+from repro.api.spec import (
+    RunSpec,
+    compose_runner_kwargs,
+    merge_runner_knob,
+    resolve_run,
+    split_overrides,
+)
+from repro.core.config import ConflictMode, ProtocolConfig, SpawnPolicyName
+from repro.core.runner import SimulationResult
+from repro.crypto.costs import CryptoCostModel
+from repro.workload.ycsb import YCSBConfig
+
+
+# ------------------------------------------------------------------ config rebuilding
+
+
+def protocol_config_from_dict(payload: Mapping[str, object]) -> ProtocolConfig:
+    """Rebuild a :class:`ProtocolConfig` from its JSONified ``asdict`` form."""
+    data = dict(payload)
+    data["spawn_policy"] = SpawnPolicyName(data["spawn_policy"])
+    data["conflict_mode"] = ConflictMode(data["conflict_mode"])
+    data["crypto_costs"] = CryptoCostModel(**data["crypto_costs"])  # type: ignore[arg-type]
+    if data.get("executor_regions") is not None:
+        data["executor_regions"] = list(data["executor_regions"])  # type: ignore[arg-type]
+    return ProtocolConfig(**data)  # type: ignore[arg-type]
+
+
+def workload_config_from_dict(payload: Mapping[str, object]) -> YCSBConfig:
+    return YCSBConfig(**dict(payload))  # type: ignore[arg-type]
+
+
+# ------------------------------------------------------------------ resolve / build / run
+
+
+def resolve(spec: RunSpec) -> Dict[str, object]:
+    """Expand a :class:`RunSpec` into the plain-JSON dict that determines it.
+
+    The resolved dict is the same shape the sweep layer content-addresses,
+    so ``repro.crypto.hashing.digest`` of it (minus labels) is the run's
+    cache key.
+    """
+    config_overrides, workload_overrides, _run = split_overrides(spec.overrides)
+    return resolve_run(
+        base=spec.base,
+        system=spec.system,
+        consensus_engine=spec.consensus_engine,
+        scenarios=spec.scenarios,
+        execution_threads=spec.execution_threads,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        seed=int(spec.seed),  # materialised by RunSpec.__post_init__
+        config_overrides=config_overrides,
+        workload_overrides=workload_overrides,
+        labels=spec.labels,
+    )
+
+
+def build_deployment(
+    resolved: Mapping[str, object],
+    extra_runner_kwargs: Optional[Mapping[str, object]] = None,
+    tracer_enabled: bool = False,
+):
+    """Construct the deployment a resolved run describes (any system kind).
+
+    Scenario runner knobs are built fresh in the executing process and
+    merged with ``extra_runner_kwargs`` (bespoke fault objects a caller
+    attached directly to its :class:`RunSpec`) under the scenario conflict
+    rules: disjoint ``node_behaviours`` merge, any other overlap raises
+    :class:`~repro.api.spec.ScenarioConflictError`.  The selected system's
+    adapter validates every knob against its declared capabilities before
+    construction — the one place unsupported-knob errors come from.
+    """
+    adapter = get_system(str(resolved["system"]))
+    kwargs = compose_runner_kwargs(resolved["scenarios"], resolved)
+    sources = {key: "a composed scenario" for key in kwargs}
+    for key, value in dict(extra_runner_kwargs or {}).items():
+        merge_runner_knob(kwargs, sources, key, value, "the spec's direct fault knobs")
+
+    config = protocol_config_from_dict(resolved["config"])  # type: ignore[arg-type]
+    workload = workload_config_from_dict(resolved["workload"])  # type: ignore[arg-type]
+    deployment = adapter.build(
+        config,
+        workload,
+        consensus_engine=str(resolved["consensus_engine"]),
+        execution_threads=int(resolved["execution_threads"]),  # type: ignore[arg-type]
+        tracer_enabled=tracer_enabled,
+        **kwargs,
+    )
+
+    # Region-aware fault plans need the live endpoint table (executors are
+    # spawned dynamically); bind once the network exists.
+    plan = kwargs.get("network_fault_plan")
+    if plan is not None and hasattr(plan, "bind"):
+        plan.bind(deployment.network)
+    return deployment
+
+
+def run(spec: RunSpec) -> SimulationResult:
+    """Resolve, build, and run one deployment — the single front door."""
+    resolved = resolve(spec)
+    deployment = build_deployment(
+        resolved,
+        extra_runner_kwargs=spec.direct_runner_kwargs(),
+        tracer_enabled=spec.tracer_enabled,
+    )
+    return deployment.run(
+        duration=float(resolved["duration"]), warmup=float(resolved["warmup"])
+    )
+
+
+def build_system(
+    system: str,
+    config: ProtocolConfig,
+    workload: Optional[YCSBConfig] = None,
+    **kwargs,
+):
+    """Registry-backed construction for callers holding pre-built configs.
+
+    The lower-level sibling of :func:`run`: same adapters, same capability
+    validation, no declarative resolution.  Used by the bench harness, whose
+    entry point takes :class:`ProtocolConfig` / :class:`YCSBConfig` objects.
+    """
+    return get_system(system).build(config, workload, **kwargs)
+
+
+def result_digest(result: SimulationResult) -> str:
+    """Content digest of a result's *simulated* metrics.
+
+    Host-speed fields (wall-clock) are excluded, so two runs of the same
+    resolved spec — facade or sweep worker, today or next week — must
+    produce equal digests.
+    """
+    from repro.crypto.hashing import digest
+    from repro.sweep.serialization import result_to_dict, simulated_fingerprint
+
+    return digest(simulated_fingerprint(result_to_dict(result)))

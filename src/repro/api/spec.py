@@ -1,0 +1,430 @@
+"""Declarative run specifications and the one home of dotted-key resolution.
+
+:class:`RunSpec` describes one deployment run declaratively — which system
+to build (resolved through :mod:`repro.api.registry`), a *list* of scenario
+presets to compose, dotted-key protocol/workload overrides, fault plans,
+seed, and duration/warm-up.  :func:`repro.api.run` turns a ``RunSpec`` into
+a :class:`~repro.core.runner.SimulationResult`.
+
+This module is also where dotted-key override resolution lives — the sweep
+layer (grid axes, ``--set`` CLI overrides) and the facade route every key
+through :func:`route_key` / :func:`split_overrides`, so there is exactly one
+definition of what ``protocol.batch_size`` or a bare ``write_fraction``
+means.
+
+Scenario *composition* replaces the old one-``scenario``-per-point limit:
+a spec may name several presets (``["region-outage", "skewed-ycsb"]``).
+They are applied in list order; config/workload/runner-knob contributions
+merge, and any two scenarios writing *different values to the same key*
+raise :class:`ScenarioConflictError` instead of silently shadowing each
+other.  (Point-level overrides still apply on top of whatever the composed
+scenarios contributed.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_seed
+from repro.workload.ycsb import YCSBConfig
+
+#: Bumped whenever the resolved-run layout changes incompatibly, so stale
+#: result-store entries can never be mistaken for current ones.
+#: (2: scenario lists — resolved runs carry a ``scenarios`` array.)
+SPEC_SCHEMA_VERSION = 2
+
+
+class ScenarioConflictError(ConfigurationError):
+    """Two composed scenarios disagree about the same key."""
+
+
+# ------------------------------------------------------------------ jsonify
+
+
+def jsonify(value):
+    """Rewrite ``value`` into pure JSON types (dicts/lists/str/num/bool/None).
+
+    Enum members collapse to their values and tuples to lists so that a
+    resolved run hashes identically before and after a JSONL round-trip.
+    """
+    if isinstance(value, enum.Enum):
+        return jsonify(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonify(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): jsonify(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ------------------------------------------------------------------ dotted-key routing
+
+_CONFIG_FIELDS = frozenset(ProtocolConfig.__dataclass_fields__)
+_WORKLOAD_FIELDS = frozenset(YCSBConfig.__dataclass_fields__)
+
+#: Run-level keys (PointSpec / RunSpec fields, not config or workload knobs).
+#: ``seed`` is deliberately absent: a bare ``seed`` routes to the protocol
+#: config, which the per-point seed derivation has always honoured.
+_RUN_FIELDS = frozenset(
+    {
+        "system",
+        "scenario",
+        "scenarios",
+        "consensus_engine",
+        "execution_threads",
+        "duration",
+        "warmup",
+    }
+)
+
+#: Accepted dotted prefixes for explicit routing.
+_PREFIX_TARGETS = {"protocol": "config", "config": "config", "workload": "workload"}
+
+
+def route_key(key: str) -> Tuple[str, str]:
+    """Classify one override key: ``(target, field)``.
+
+    ``target`` is ``"config"`` (protocol), ``"workload"``, or ``"run"``.
+    Keys may be explicitly prefixed (``protocol.batch_size``,
+    ``workload.write_fraction``); bare names are routed by field membership —
+    run-level names first, then :class:`ProtocolConfig`, then
+    :class:`YCSBConfig` (``seed`` exists in both configs and routes to the
+    protocol config, matching the historical sweep-axis behaviour).
+    """
+    if "." in key:
+        prefix, fieldname = key.split(".", 1)
+        target = _PREFIX_TARGETS.get(prefix)
+        if target is None:
+            raise ConfigurationError(
+                f"unknown override prefix {prefix!r} in {key!r} "
+                f"(expected 'protocol.', 'config.', or 'workload.')"
+            )
+        known = _CONFIG_FIELDS if target == "config" else _WORKLOAD_FIELDS
+        if fieldname not in known:
+            kind = "ProtocolConfig" if target == "config" else "YCSBConfig"
+            raise ConfigurationError(f"{key!r}: {kind} has no field {fieldname!r}")
+        return target, fieldname
+    if key in _RUN_FIELDS:
+        return "run", "scenario" if key == "scenarios" else key
+    if key in _CONFIG_FIELDS:
+        return "config", key
+    if key in _WORKLOAD_FIELDS:
+        return "workload", key
+    raise ConfigurationError(
+        f"unknown override key {key!r}: not a run-level field, a ProtocolConfig "
+        f"field, or a YCSBConfig field (prefix with 'protocol.' or 'workload.' "
+        f"to route explicitly)"
+    )
+
+
+def split_overrides(
+    overrides: Mapping[str, object],
+) -> Tuple[Dict[str, object], Dict[str, object], Dict[str, object]]:
+    """Split dotted-key overrides into ``(config, workload, run)`` dicts."""
+    config: Dict[str, object] = {}
+    workload: Dict[str, object] = {}
+    run: Dict[str, object] = {}
+    buckets = {"config": config, "workload": workload, "run": run}
+    for key, value in overrides.items():
+        target, fieldname = route_key(str(key))
+        buckets[target][fieldname] = value
+    return config, workload, run
+
+
+# ------------------------------------------------------------------ scenario composition
+
+
+def normalize_scenarios(scenario) -> Tuple[str, ...]:
+    """Canonicalise a scenario selector: str | sequence -> non-empty tuple."""
+    if scenario is None:
+        return ("baseline",)
+    if isinstance(scenario, str):
+        return (scenario,) if scenario else ("baseline",)
+    names = tuple(str(name) for name in scenario)
+    return names if names else ("baseline",)
+
+
+def scenario_key(scenario) -> str:
+    """The canonical string form of a scenario selector.
+
+    Single scenarios keep their plain name (so derived per-point seeds are
+    unchanged from the one-scenario era); compositions join with ``+`` in
+    application order.
+    """
+    return "+".join(normalize_scenarios(scenario))
+
+
+@dataclass(frozen=True)
+class ComposedScenarios:
+    """The merged config/workload contributions of a scenario list."""
+
+    names: Tuple[str, ...]
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+    workload_overrides: Dict[str, object] = field(default_factory=dict)
+
+
+def _merge_scenario_layer(
+    merged: Dict[str, object],
+    sources: Dict[str, str],
+    contribution: Mapping[str, object],
+    scenario_name: str,
+    layer: str,
+) -> None:
+    for key, value in contribution.items():
+        if key in merged and merged[key] != value:
+            raise ScenarioConflictError(
+                f"scenarios {sources[key]!r} and {scenario_name!r} both set "
+                f"{layer} key {key!r} to different values "
+                f"({merged[key]!r} vs {value!r}); drop one of them or move the "
+                f"knob into an explicit point override"
+            )
+        merged[key] = value
+        sources[key] = scenario_name
+    return None
+
+
+def compose_scenarios(scenario) -> ComposedScenarios:
+    """Merge the config/workload overrides of a scenario list, in list order.
+
+    Overlapping keys are allowed only when every contributing scenario
+    agrees on the value; otherwise :class:`ScenarioConflictError` names the
+    two scenarios and the key.
+    """
+    from repro.sweep.scenarios import get_scenario
+
+    names = normalize_scenarios(scenario)
+    config: Dict[str, object] = {}
+    workload: Dict[str, object] = {}
+    config_sources: Dict[str, str] = {}
+    workload_sources: Dict[str, str] = {}
+    for name in names:
+        preset = get_scenario(name)
+        _merge_scenario_layer(config, config_sources, preset.config_overrides, name, "config")
+        _merge_scenario_layer(
+            workload, workload_sources, preset.workload_overrides, name, "workload"
+        )
+    return ComposedScenarios(
+        names=names, config_overrides=config, workload_overrides=workload
+    )
+
+
+def merge_runner_knob(
+    merged: Dict[str, object],
+    sources: Dict[str, str],
+    key: str,
+    value: object,
+    source: str,
+) -> None:
+    """Merge one runner knob contribution into ``merged`` under conflict rules.
+
+    ``node_behaviours`` dicts merge when they target disjoint nodes; any
+    other overlap — two network fault plans, two executor behaviour
+    factories, two behaviours for the same node — is a
+    :class:`ScenarioConflictError`.  The same rules govern scenario-vs-
+    scenario and scenario-vs-direct-spec contributions.
+    """
+    if key not in merged:
+        merged[key] = value
+        sources[key] = source
+        return
+    if key == "node_behaviours":
+        existing: Dict[str, object] = dict(merged[key])  # type: ignore[arg-type]
+        overlap = sorted(set(existing) & set(value))  # type: ignore[arg-type]
+        if overlap:
+            raise ScenarioConflictError(
+                f"{sources[key]} and {source} both assign behaviours to "
+                f"nodes {overlap}"
+            )
+        existing.update(value)  # type: ignore[arg-type]
+        merged[key] = existing
+        return
+    raise ScenarioConflictError(
+        f"{sources[key]} and {source} both set runner knob {key!r}; "
+        f"compose contributions that inject disjoint faults"
+    )
+
+
+def compose_runner_kwargs(
+    scenario, resolved: Mapping[str, object]
+) -> Dict[str, object]:
+    """Build and merge the runner knobs of every scenario in the list.
+
+    Each scenario's ``runner_kwargs_factory`` runs in the executing process
+    (behaviour objects carry state); contributions merge under
+    :func:`merge_runner_knob`'s conflict rules.
+    """
+    from repro.sweep.scenarios import get_scenario
+
+    merged: Dict[str, object] = {}
+    sources: Dict[str, str] = {}
+    for name in normalize_scenarios(scenario):
+        for key, value in get_scenario(name).runner_kwargs(resolved).items():
+            merge_runner_knob(merged, sources, key, value, f"scenario {name!r}")
+    return merged
+
+
+# ------------------------------------------------------------------ base configs
+
+
+def _base_protocol_config(base: str, overrides: Dict[str, object]) -> ProtocolConfig:
+    # Imported lazily: bench.defaults sits above this module in the layering
+    # (benches route their grids through the sweep layer, which lands here).
+    from repro.bench.defaults import PAPER, SCALE
+
+    if base == "scale":
+        return SCALE.protocol_config(**overrides)
+    if base == "paper":
+        shim_nodes = overrides.pop("shim_nodes", PAPER.medium_shim)
+        return PAPER.protocol_config(shim_nodes, **overrides)
+    return ProtocolConfig(**overrides)
+
+
+def _base_workload_config(base: str, overrides: Dict[str, object]) -> YCSBConfig:
+    from repro.bench.defaults import PAPER, SCALE
+
+    if base == "scale":
+        return SCALE.workload_config(**overrides)
+    if base == "paper":
+        return PAPER.workload_config(**overrides)
+    return YCSBConfig(**overrides)
+
+
+_KNOWN_BASES = ("scale", "paper", "default")
+
+
+def validate_base(base: str) -> str:
+    if base not in _KNOWN_BASES:
+        raise ConfigurationError(
+            f"unknown base {base!r} (expected 'scale', 'paper', or 'default')"
+        )
+    return base
+
+
+# ------------------------------------------------------------------ RunSpec
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One deployment run, declaratively.
+
+    ``overrides`` accepts dotted keys (``protocol.batch_size``,
+    ``workload.write_fraction``) or bare field names routed automatically
+    (see :func:`route_key`); run-level knobs (system, duration, ...) are
+    proper fields of this class and are rejected inside ``overrides``.
+
+    ``scenarios`` composes any number of presets in order; the direct fault
+    knobs (``node_behaviours``/``executor_behaviour_factory``/
+    ``network_fault_plan``) let callers inject bespoke fault objects on top,
+    subject to the same conflict rules and the system's declared
+    capabilities.
+
+    ``seed=None`` uses the ``seed`` override if one was given, else the
+    deployment default (1); either way the materialised seed ends up in the
+    resolved run, so resolution is always fully pinned.
+    """
+
+    system: str = "serverless_bft"
+    scenarios: Tuple[str, ...] = ()
+    overrides: Mapping[str, object] = field(default_factory=dict)
+    base: str = "scale"
+    seed: Optional[int] = None
+    duration: float = 2.0
+    warmup: float = 0.4
+    consensus_engine: str = "pbft"
+    execution_threads: int = 16
+    node_behaviours: Optional[Mapping[str, object]] = None
+    executor_behaviour_factory: Optional[Callable] = None
+    network_fault_plan: Optional[object] = None
+    labels: Mapping[str, object] = field(default_factory=dict)
+    tracer_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.api.registry import get_system
+
+        get_system(self.system)  # raises with the known-system list
+        object.__setattr__(self, "scenarios", normalize_scenarios(self.scenarios))
+        validate_base(self.base)
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.warmup < 0 or self.warmup >= self.duration:
+            raise ConfigurationError("warmup must be inside [0, duration)")
+        config_ov, _workload_ov, run_ov = split_overrides(self.overrides)
+        if run_ov:
+            raise ConfigurationError(
+                f"run-level keys {sorted(run_ov)} belong in RunSpec fields, "
+                f"not in overrides"
+            )
+        if self.seed is None:
+            seed = int(config_ov.get("seed", 1))  # type: ignore[arg-type]
+            object.__setattr__(self, "seed", seed)
+
+    def direct_runner_kwargs(self) -> Dict[str, object]:
+        """The bespoke fault objects attached directly to this spec."""
+        kwargs: Dict[str, object] = {}
+        if self.node_behaviours is not None:
+            kwargs["node_behaviours"] = dict(self.node_behaviours)
+        if self.executor_behaviour_factory is not None:
+            kwargs["executor_behaviour_factory"] = self.executor_behaviour_factory
+        if self.network_fault_plan is not None:
+            kwargs["network_fault_plan"] = self.network_fault_plan
+        return kwargs
+
+
+# ------------------------------------------------------------------ resolution
+
+
+def resolve_run(
+    *,
+    base: str,
+    system: str,
+    consensus_engine: str,
+    scenarios,
+    execution_threads: int,
+    duration: float,
+    warmup: float,
+    seed: int,
+    config_overrides: Mapping[str, object],
+    workload_overrides: Mapping[str, object],
+    labels: Mapping[str, object],
+) -> Dict[str, object]:
+    """Expand a run into the plain-JSON dict that fully determines it.
+
+    Composed scenarios contribute config/workload defaults *underneath* the
+    explicit overrides, and the seed is materialised into both configs, so
+    the resolved dict — and therefore its content address — captures
+    everything the simulation will see.
+    """
+    composed = compose_scenarios(scenarios)
+
+    config_ov: Dict[str, object] = dict(composed.config_overrides)
+    config_ov.update(config_overrides)
+    config_ov["seed"] = seed
+
+    workload_ov: Dict[str, object] = dict(composed.workload_overrides)
+    workload_ov.update(workload_overrides)
+    workload_ov.setdefault("seed", derive_seed(seed, "workload"))
+
+    config = _base_protocol_config(validate_base(base), config_ov)
+    workload = _base_workload_config(base, workload_ov)
+
+    return {
+        "schema": SPEC_SCHEMA_VERSION,
+        "system": system,
+        "consensus_engine": consensus_engine,
+        "scenario": "+".join(composed.names),
+        "scenarios": list(composed.names),
+        "execution_threads": execution_threads,
+        "duration": duration,
+        "warmup": warmup,
+        "config": jsonify(dataclasses.asdict(config)),
+        "workload": jsonify(dataclasses.asdict(workload)),
+        "labels": jsonify(dict(labels)),
+    }

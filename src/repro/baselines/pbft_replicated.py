@@ -28,7 +28,7 @@ from repro.consensus.pbft import PBFTConfig, PBFTReplica, ReplicaTransport
 from repro.core.client import ClientGroup
 from repro.core.config import ProtocolConfig
 from repro.core.messages import ClientRequestMsg, ResponseMsg
-from repro.core.runner import SimulationResult
+from repro.core.runner import SimulationResult, _warn_legacy_entry_point
 from repro.crypto.keys import KeyStore
 from repro.crypto.signatures import SignatureService
 from repro.errors import ConfigurationError
@@ -238,6 +238,7 @@ class PBFTReplicatedSimulation:
         node_behaviours: Optional[Dict[str, NodeBehaviour]] = None,
         tracer_enabled: bool = True,
     ) -> None:
+        _warn_legacy_entry_point("PBFTReplicatedSimulation")
         if execution_threads < 1:
             raise ConfigurationError("execution_threads must be at least 1")
         self.config = config

@@ -265,12 +265,20 @@ def conflicting_transactions(
 # --------------------------------------------------------------------------- Figure 7
 
 
-_FIGURE7_SYSTEMS = (
-    ("SERVERLESSBFT", SystemKind.SERVERLESS_BFT),
-    ("SERVERLESSCFT", SystemKind.SERVERLESS_CFT),
-    ("PBFT", SystemKind.PBFT_REPLICATED),
-    ("NOSHIM", SystemKind.NOSHIM),
-)
+def _figure7_systems():
+    """The comparison set, from the system registry (registration order).
+
+    Every registered system whose adapter names an analytical-model kind
+    participates — registering a new modelled system extends Figure 7
+    without touching this module.
+    """
+    from repro.api.registry import all_systems
+
+    return tuple(
+        (adapter.display_name, SystemKind(adapter.model_kind))
+        for adapter in all_systems()
+        if adapter.model_kind is not None
+    )
 
 
 def baseline_comparison(
@@ -283,7 +291,7 @@ def baseline_comparison(
         name="fig7-baseline-comparison",
         columns=("system", "replicas", "throughput_txn_s", "latency_s"),
     )
-    grid = GridSpec({"system": _FIGURE7_SYSTEMS, "replicas": replica_counts})
+    grid = GridSpec({"system": _figure7_systems(), "replicas": replica_counts})
     for combo in grid.combinations():
         (label, system), replicas = combo["system"], combo["replicas"]
         model = _model(setup, replicas, system=system)

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import ProtocolConfig
-from repro.core.runner import ServerlessBFTSimulation, SimulationResult
+from repro.core.runner import SimulationResult
 from repro.workload.ycsb import YCSBConfig
 
 
@@ -104,17 +104,23 @@ def simulate_point(
     duration: float = 3.0,
     warmup: float = 0.5,
     report_perf: bool = True,
+    system: str = "serverless_bft",
     **runner_kwargs,
 ) -> SimulationResult:
     """Run one message-level simulation point (used by the measured benches).
 
-    Each point also reports its host-side cost (wall-clock seconds and kernel
-    events per second) so the BENCH_*.json files capture the simulator's
-    performance trajectory alongside the simulated metrics.
+    The deployment is built through the ``repro.api`` system registry, so
+    ``system`` may name any registered variant (capability validation
+    included).  Each point also reports its host-side cost (wall-clock
+    seconds and kernel events per second) so the BENCH_*.json files capture
+    the simulator's performance trajectory alongside the simulated metrics.
     """
-    simulation = ServerlessBFTSimulation(
+    from repro.api.facade import build_system  # bench sits above the facade
+
+    simulation = build_system(
+        system,
         config,
-        workload=workload,
+        workload,
         consensus_engine=consensus_engine,
         tracer_enabled=False,
         **runner_kwargs,

@@ -10,7 +10,9 @@ diagnostics (view changes, spawn counts, network statistics).
 
 from __future__ import annotations
 
+import contextlib
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -35,6 +37,38 @@ from repro.sim.tracing import Tracer
 from repro.storage.kvstore import VersionedKVStore
 from repro.storage.service import StorageService
 from repro.workload.ycsb import YCSBConfig, YCSBWorkload
+
+
+# Depth counter raised while the repro.api facade constructs deployments:
+# direct construction of the simulation classes below is a deprecated entry
+# point, but the facade itself builds them through the system registry and
+# must not trip the warning.  The simulator is single-threaded, so a plain
+# module global suffices.
+_ENTRY_POINT_SANCTION_DEPTH = 0
+
+
+@contextlib.contextmanager
+def _entry_point_sanction():
+    """Mark the enclosed constructions as facade-internal (no deprecation)."""
+    global _ENTRY_POINT_SANCTION_DEPTH
+    _ENTRY_POINT_SANCTION_DEPTH += 1
+    try:
+        yield
+    finally:
+        _ENTRY_POINT_SANCTION_DEPTH -= 1
+
+
+def _warn_legacy_entry_point(name: str) -> None:
+    """Emit the deprecation for a direct (non-facade) constructor call."""
+    if _ENTRY_POINT_SANCTION_DEPTH:
+        return
+    warnings.warn(
+        f"constructing {name} directly is deprecated; use "
+        f"repro.api.run(RunSpec(...)) — or repro.api.build_system(...) when "
+        f"holding pre-built config objects",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -97,6 +131,7 @@ class ServerlessBFTSimulation:
         tracer_enabled: bool = True,
         preload_storage: bool = False,
     ) -> None:
+        _warn_legacy_entry_point("ServerlessBFTSimulation")
         if consensus_engine not in ("pbft", "paxos"):
             raise ConfigurationError(f"unknown consensus engine {consensus_engine!r}")
         self.config = config

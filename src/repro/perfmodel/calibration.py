@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import ProtocolConfig
-from repro.core.runner import ServerlessBFTSimulation
 from repro.perfmodel.model import AnalyticalModel, SystemKind
 from repro.workload.ycsb import YCSBConfig
 
@@ -48,8 +47,12 @@ def calibration_ratio(
     warmup: float = 0.5,
 ) -> CalibrationResult:
     """Run both the simulator and the model on ``config`` and compare them."""
+    from repro.api.facade import build_system  # calibration sits above the facade
+
     workload = workload or YCSBConfig(clients=config.num_clients, seed=config.seed)
-    simulation = ServerlessBFTSimulation(config, workload=workload, tracer_enabled=False)
+    simulation = build_system(
+        "serverless_bft", config, workload, tracer_enabled=False
+    )
     result = simulation.run(duration=duration, warmup=warmup)
     model = AnalyticalModel(config, workload, system=SystemKind.SERVERLESS_BFT)
     modelled_throughput, modelled_latency = model.throughput_latency(config.num_clients)

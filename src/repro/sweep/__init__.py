@@ -42,6 +42,7 @@ from repro.sweep.spec import (
     GridSpec,
     PointSpec,
     SweepSpec,
+    apply_overrides,
     point_digest,
     resolve_point,
     sweep_from_dict,
@@ -59,6 +60,7 @@ __all__ = [
     "SweepReport",
     "SweepSpec",
     "all_scenarios",
+    "apply_overrides",
     "build_simulation",
     "build_sweep",
     "get_scenario",

@@ -4,6 +4,7 @@ Subcommands::
 
     list                     named sweeps and their point counts
     scenarios                scenario presets and their descriptions
+    list-systems             registered systems and their capabilities
     run NAME_OR_FILE         run a named or file-defined (JSON) sweep
 
 ``run`` resolves every point to its content address, serves cached points
@@ -11,7 +12,9 @@ from the result store (``--store``), simulates the rest with ``--workers``
 processes, prints per-point progress and the aggregated experiment table,
 and exits non-zero on failed points.  ``--expect-all-cached`` additionally
 fails the run if any point had to be simulated — CI uses it to prove the
-store actually caches.
+store actually caches.  Repeatable ``--set key=value`` flags apply ad-hoc
+dotted-key overrides (``--set protocol.batch_size=25 --set system=noshim``)
+on top of whatever the named sweep pins.
 """
 
 from __future__ import annotations
@@ -20,14 +23,15 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.api.registry import all_systems
 from repro.bench.harness import format_table
 from repro.errors import ConfigurationError
 from repro.sweep.presets import build_sweep, sweep_names
 from repro.sweep.runner import print_progress, run_sweep
 from repro.sweep.scenarios import all_scenarios
-from repro.sweep.spec import SweepSpec, sweep_from_dict
+from repro.sweep.spec import SweepSpec, apply_overrides, sweep_from_dict
 from repro.sweep.store import ResultStore
 
 
@@ -60,9 +64,40 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_systems(_args: argparse.Namespace) -> int:
+    for adapter in all_systems():
+        capabilities = ",".join(sorted(adapter.capabilities)) or "-"
+        print(f"{adapter.name:<18} {adapter.description}")
+        print(f"{'':<18} capabilities: {capabilities}")
+    return 0
+
+
+def _parse_set_overrides(pairs: List[str]) -> Dict[str, object]:
+    """Parse repeated ``--set key=value`` flags; values are JSON when possible.
+
+    ``--set batch_size=25`` yields an int, ``--set scenario='["a","b"]'`` a
+    list, and anything that is not valid JSON stays a plain string
+    (``--set system=noshim``).
+    """
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ConfigurationError(
+                f"--set expects key=value, got {pair!r}"
+            )
+        try:
+            value: object = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         sweep = _load_sweep(args.sweep, args.duration, args.warmup, args.seed)
+        sweep = apply_overrides(sweep, _parse_set_overrides(args.set or []))
     except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -104,9 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("scenarios", help="scenario presets").set_defaults(
         func=_cmd_scenarios
     )
+    sub.add_parser(
+        "list-systems", help="registered systems and their capabilities"
+    ).set_defaults(func=_cmd_list_systems)
 
     run = sub.add_parser("run", help="run a named or file-defined sweep")
     run.add_argument("sweep", help="sweep name (see 'list') or path to a JSON file")
+    run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="dotted-key override applied to every point (repeatable), e.g. "
+        "--set protocol.batch_size=25 --set system=noshim",
+    )
     run.add_argument(
         "--workers",
         type=int,

@@ -24,104 +24,51 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.facade import (
+    build_deployment,
+    protocol_config_from_dict,
+    workload_config_from_dict,
+)
+from repro.api.registry import custom_systems as _custom_systems
 from repro.bench.harness import ExperimentTable
-from repro.core.config import ConflictMode, ProtocolConfig, SpawnPolicyName
-from repro.core.runner import ServerlessBFTSimulation, SimulationResult
-from repro.crypto.costs import CryptoCostModel
-from repro.errors import ConfigurationError
+from repro.core.runner import SimulationResult
 from repro.sweep.scenarios import custom_scenarios
 from repro.sweep.serialization import result_from_dict, result_to_dict
 from repro.sweep.spec import PointSpec, SweepSpec, point_digest, resolve_point
 from repro.sweep.store import ResultStore
-from repro.workload.ycsb import YCSBConfig
 
 ProgressCallback = Callable[["PointOutcome", int, int], None]
 
 
-def _register_worker_scenarios(scenarios) -> None:
-    """Process-pool initializer: make runtime-registered scenarios visible.
+def _register_worker_state(scenarios, systems) -> None:
+    """Process-pool initializer: make runtime registrations visible.
 
-    Fork-start workers inherit the parent's registry; spawn-start workers
-    (macOS/Windows defaults) re-import :mod:`repro.sweep.scenarios` fresh
-    and would only know the built-in presets.  The scenarios themselves
-    must be picklable (module-level factories are).
+    Fork-start workers inherit the parent's registries; spawn-start workers
+    (macOS/Windows defaults) re-import the registry modules fresh and would
+    only know the built-in scenario presets and systems.  Both scenario
+    objects and system adapters must be picklable (module-level factories
+    and builder functions are).
     """
+    from repro.api.registry import register_system
     from repro.sweep.scenarios import register_scenario
 
     for scenario in scenarios:
         register_scenario(scenario, replace=True)
+    for adapter in systems:
+        register_system(adapter, replace=True)
 
 
 # ------------------------------------------------------------------ rebuilding
 
 
-def protocol_config_from_dict(payload: Mapping[str, object]) -> ProtocolConfig:
-    """Rebuild a :class:`ProtocolConfig` from its JSONified ``asdict`` form."""
-    data = dict(payload)
-    data["spawn_policy"] = SpawnPolicyName(data["spawn_policy"])
-    data["conflict_mode"] = ConflictMode(data["conflict_mode"])
-    data["crypto_costs"] = CryptoCostModel(**data["crypto_costs"])  # type: ignore[arg-type]
-    if data.get("executor_regions") is not None:
-        data["executor_regions"] = list(data["executor_regions"])  # type: ignore[arg-type]
-    return ProtocolConfig(**data)  # type: ignore[arg-type]
-
-
-def workload_config_from_dict(payload: Mapping[str, object]) -> YCSBConfig:
-    return YCSBConfig(**dict(payload))  # type: ignore[arg-type]
-
-
 def build_simulation(resolved: Mapping[str, object]):
-    """Construct the deployment a resolved point describes (any system kind)."""
-    from repro.baselines import (  # local: baselines import the runner module
-        PBFTReplicatedSimulation,
-        build_noshim_simulation,
-        build_serverless_cft_simulation,
-    )
-    from repro.sweep.scenarios import get_scenario
+    """Construct the deployment a resolved point describes (any system kind).
 
-    config = protocol_config_from_dict(resolved["config"])  # type: ignore[arg-type]
-    workload = workload_config_from_dict(resolved["workload"])  # type: ignore[arg-type]
-    scenario = get_scenario(str(resolved["scenario"]))
-    kwargs = scenario.runner_kwargs(resolved)
-    system = str(resolved["system"])
-
-    if system == "pbft_replicated":
-        unsupported = sorted(set(kwargs) - {"node_behaviours"})
-        if unsupported:
-            raise ConfigurationError(
-                f"scenario {scenario.name!r} needs {unsupported} which the "
-                f"pbft_replicated baseline does not support"
-            )
-        simulation = PBFTReplicatedSimulation(
-            config,
-            workload=workload,
-            execution_threads=int(resolved["execution_threads"]),  # type: ignore[arg-type]
-            tracer_enabled=False,
-            **kwargs,
-        )
-    elif system == "serverless_cft":
-        simulation = build_serverless_cft_simulation(
-            config, workload=workload, tracer_enabled=False, **kwargs
-        )
-    elif system == "noshim":
-        simulation = build_noshim_simulation(
-            config, workload=workload, tracer_enabled=False, **kwargs
-        )
-    else:
-        simulation = ServerlessBFTSimulation(
-            config,
-            workload=workload,
-            consensus_engine=str(resolved["consensus_engine"]),
-            tracer_enabled=False,
-            **kwargs,
-        )
-
-    # Region-aware fault plans need the live endpoint table (executors are
-    # spawned dynamically); bind once the network exists.
-    plan = kwargs.get("network_fault_plan")
-    if plan is not None and hasattr(plan, "bind"):
-        plan.bind(simulation.network)
-    return simulation
+    Thin alias for :func:`repro.api.facade.build_deployment` — the system
+    registry replaced the if/elif ladder that used to live here, so sweep
+    workers and ``repro.api.run`` share one construction path.
+    """
+    return build_deployment(resolved)
 
 
 def simulate_resolved_point(resolved: Mapping[str, object]) -> Dict[str, object]:
@@ -372,11 +319,11 @@ def run_sweep(
         timed_out = False
         with ProcessPoolExecutor(
             max_workers=workers,
-            # Spawn-start platforms (macOS/Windows) re-import the scenario
-            # registry in each worker and would miss presets registered at
-            # runtime; re-register them explicitly.
-            initializer=_register_worker_scenarios,
-            initargs=(custom_scenarios(),),
+            # Spawn-start platforms (macOS/Windows) re-import the registry
+            # modules in each worker and would miss scenarios/systems
+            # registered at runtime; re-register them explicitly.
+            initializer=_register_worker_state,
+            initargs=(custom_scenarios(), _custom_systems()),
         ) as pool:
             future_map = {
                 pool.submit(simulate_resolved_point, outcome.resolved): outcome

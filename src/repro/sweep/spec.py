@@ -5,59 +5,59 @@ and their values, a :class:`PointSpec` pins one combination down, and a
 :class:`SweepSpec` bundles the points with a name, a base deployment scale,
 and a root seed.  Resolution turns each point into a plain-JSON dict that
 fully determines one simulation run (every ``ProtocolConfig`` and
-``YCSBConfig`` field, the system variant, the scenario preset, duration and
-warm-up), and the SHA-256 digest of that resolved dict is the point's
-*content address*: the result store keys on it, so any change to a knob —
-including library-default changes that alter the resolved config — yields a
-new address and a fresh simulation, while an unchanged point is served from
-the store.
+``YCSBConfig`` field, the system variant, the composed scenario presets,
+duration and warm-up), and the SHA-256 digest of that resolved dict is the
+point's *content address*: the result store keys on it, so any change to a
+knob — including library-default changes that alter the resolved config —
+yields a new address and a fresh simulation, while an unchanged point is
+served from the store.
 
 Per-point seeds are *derived*, not positional: unless a point pins a seed
 explicitly, its seed is ``derive_seed(sweep.seed, sweep.name, labels)``, so
 the same point gets the same RNG streams no matter which worker runs it or
 in which order — the property the parallel-determinism tests lock down.
+
+Since the ``repro.api`` facade landed, this module owns only the sweep
+shapes (grids, points, per-point seed derivation); systems come from the
+pluggable registry (:mod:`repro.api.registry` — runtime-registered systems
+validate like built-ins), dotted-key override routing and scenario
+composition live in :mod:`repro.api.spec`, and :func:`resolve_point`
+delegates to the same :func:`repro.api.spec.resolve_run` the facade uses.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import enum
 import itertools
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.config import ProtocolConfig
+from repro.api.spec import (
+    SPEC_SCHEMA_VERSION,
+    jsonify as _jsonify,
+    normalize_scenarios,
+    resolve_run,
+    route_key,
+    scenario_key,
+    split_overrides,
+    validate_base,
+)
 from repro.crypto.hashing import digest
 from repro.errors import ConfigurationError
 from repro.sim.rng import derive_seed
-from repro.workload.ycsb import YCSBConfig
 
-#: Bumped whenever the resolved-point layout changes incompatibly, so stale
-#: store entries can never be mistaken for current ones.
-SPEC_SCHEMA_VERSION = 1
-
-#: System variants the sweep runner can drive (Figure 7's comparison set).
-SYSTEMS = ("serverless_bft", "serverless_cft", "pbft_replicated", "noshim")
+__all_dynamic__ = ("SYSTEMS",)
 
 
-def _jsonify(value):
-    """Rewrite ``value`` into pure JSON types (dicts/lists/str/num/bool/None).
+def __getattr__(name: str):
+    # Backwards compatibility: the frozen SYSTEMS tuple became the pluggable
+    # registry; reading it now reflects runtime registrations too.
+    if name == "SYSTEMS":
+        from repro.api.registry import system_names
 
-    Enum members collapse to their values and tuples to lists so that a
-    resolved point hashes identically before and after a JSONL round-trip.
-    """
-    if isinstance(value, enum.Enum):
-        return _jsonify(value.value)
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _jsonify(dataclasses.asdict(value))
-    if isinstance(value, dict):
-        return {str(key): _jsonify(val) for key, val in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonify(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+        return tuple(system_names())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,11 @@ class PointSpec:
     independent replicates, not duplicates).  ``config`` / ``workload`` are
     overrides applied on top of the sweep's base deployment scale; scenario
     presets may contribute further defaults underneath them.
+
+    ``scenario`` names one preset or a *list* of presets to compose (see
+    :func:`repro.api.spec.compose_scenarios` for the merge/conflict rules);
+    ``system`` may name any system in the registry, including ones
+    registered at runtime.
     """
 
     labels: Mapping[str, object] = field(default_factory=dict)
@@ -123,21 +128,31 @@ class PointSpec:
     workload: Mapping[str, object] = field(default_factory=dict)
     system: str = "serverless_bft"
     consensus_engine: str = "pbft"
-    scenario: str = "baseline"
+    scenario: object = "baseline"
     execution_threads: int = 16
     duration: float = 2.0
     warmup: float = 0.4
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.system not in SYSTEMS:
-            raise ConfigurationError(
-                f"unknown system {self.system!r} (expected one of {SYSTEMS})"
-            )
+        from repro.api.registry import get_system
+
+        get_system(self.system)  # raises with the known-system list
+        normalize_scenarios(self.scenario)  # fail fast on malformed selectors
         if self.duration <= 0:
             raise ConfigurationError("duration must be positive")
         if self.warmup < 0 or self.warmup >= self.duration:
             raise ConfigurationError("warmup must be inside [0, duration)")
+
+    @property
+    def scenario_names(self) -> Tuple[str, ...]:
+        """The scenario selector as a canonical tuple of preset names."""
+        return normalize_scenarios(self.scenario)
+
+    @property
+    def scenario_label(self) -> str:
+        """Canonical string form (single name, or ``a+b`` for compositions)."""
+        return scenario_key(self.scenario)
 
 
 @dataclass(frozen=True)
@@ -154,10 +169,7 @@ class SweepSpec:
             raise ConfigurationError("a sweep needs a name")
         if not self.points:
             raise ConfigurationError(f"sweep {self.name!r} has no points")
-        if self.base not in ("scale", "paper", "default"):
-            raise ConfigurationError(
-                f"unknown base {self.base!r} (expected 'scale', 'paper', or 'default')"
-            )
+        validate_base(self.base)
         object.__setattr__(self, "points", tuple(self.points))
 
     def __len__(self) -> int:
@@ -167,80 +179,45 @@ class SweepSpec:
 # ------------------------------------------------------------------ resolution
 
 
-def _base_protocol_config(base: str, overrides: Dict[str, object]) -> ProtocolConfig:
-    # Imported lazily: bench.experiments routes its model grids through this
-    # module, so a module-level import of repro.bench would be circular.
-    from repro.bench.defaults import PAPER, SCALE
-
-    if base == "scale":
-        return SCALE.protocol_config(**overrides)
-    if base == "paper":
-        shim_nodes = overrides.pop("shim_nodes", PAPER.medium_shim)
-        return PAPER.protocol_config(shim_nodes, **overrides)
-    return ProtocolConfig(**overrides)
-
-
-def _base_workload_config(base: str, overrides: Dict[str, object]) -> YCSBConfig:
-    from repro.bench.defaults import PAPER, SCALE
-
-    if base == "scale":
-        return SCALE.workload_config(**overrides)
-    if base == "paper":
-        return PAPER.workload_config(**overrides)
-    return YCSBConfig(**overrides)
-
-
 def point_seed(sweep: SweepSpec, point: PointSpec) -> int:
     """The point's root RNG seed: pinned, or derived from sweep seed + labels.
 
     Deriving from the (sorted, canonical) labels rather than the point's
     position keeps the seed stable under reordering, filtering, or parallel
-    execution of the sweep.
+    execution of the sweep.  Single-scenario points derive exactly the seed
+    they did before scenario lists existed (the canonical scenario key of
+    ``"x"`` is ``"x"``).
     """
     if point.seed is not None:
         return point.seed
     if "seed" in point.config:
         return int(point.config["seed"])  # type: ignore[arg-type]
     label_blob = json.dumps(_jsonify(dict(point.labels)), sort_keys=True)
-    return derive_seed(sweep.seed, sweep.name, point.scenario, point.system, label_blob)
+    return derive_seed(
+        sweep.seed, sweep.name, point.scenario_label, point.system, label_blob
+    )
 
 
 def resolve_point(sweep: SweepSpec, point: PointSpec) -> Dict[str, object]:
     """Expand one point into the plain-JSON dict that fully determines a run.
 
-    Scenario presets contribute config/workload defaults *underneath* the
-    point's own overrides, and the per-point seed is materialised into both
-    the protocol and workload configs, so the resolved dict — and therefore
-    the content address — captures everything the simulation will see.
+    Delegates to the facade's :func:`repro.api.spec.resolve_run` — the sweep
+    layer and ``repro.api.run`` share one resolution path, so a point
+    simulated by either is the same simulation.
     """
-    from repro.sweep.scenarios import get_scenario  # cycle: scenarios build specs
-
-    scenario = get_scenario(point.scenario)
-    seed = point_seed(sweep, point)
-
-    config_overrides: Dict[str, object] = dict(scenario.config_overrides)
-    config_overrides.update(point.config)
-    config_overrides["seed"] = seed
-
-    workload_overrides: Dict[str, object] = dict(scenario.workload_overrides)
-    workload_overrides.update(point.workload)
-    workload_overrides.setdefault("seed", derive_seed(seed, "workload"))
-
-    config = _base_protocol_config(sweep.base, config_overrides)
-    workload = _base_workload_config(sweep.base, workload_overrides)
-
-    return {
-        "schema": SPEC_SCHEMA_VERSION,
-        "system": point.system,
-        "consensus_engine": point.consensus_engine,
-        "scenario": point.scenario,
-        "execution_threads": point.execution_threads,
-        "duration": point.duration,
-        "warmup": point.warmup,
-        "config": _jsonify(dataclasses.asdict(config)),
-        "workload": _jsonify(dataclasses.asdict(workload)),
-        "labels": _jsonify(dict(point.labels)),
-    }
+    return resolve_run(
+        base=sweep.base,
+        system=point.system,
+        consensus_engine=point.consensus_engine,
+        scenarios=point.scenario_names,
+        execution_threads=point.execution_threads,
+        duration=point.duration,
+        warmup=point.warmup,
+        seed=point_seed(sweep, point),
+        config_overrides=point.config,
+        workload_overrides=point.workload,
+        labels=point.labels,
+    )
 
 
 def point_digest(resolved: Mapping[str, object]) -> str:
@@ -255,27 +232,34 @@ def point_digest(resolved: Mapping[str, object]) -> str:
     return digest(addressed)
 
 
-# ------------------------------------------------------------------ file-defined sweeps
-
-#: Axis names routed to PointSpec fields rather than config/workload overrides.
-_POINT_AXES = ("scenario", "system", "consensus_engine", "execution_threads")
-
-_CONFIG_FIELDS = frozenset(ProtocolConfig.__dataclass_fields__)
-_WORKLOAD_FIELDS = frozenset(YCSBConfig.__dataclass_fields__)
+# ------------------------------------------------------------------ overrides
 
 
-def _route_axis(name: str):
-    """Classify a grid axis name: point field, config field, or workload field."""
-    if name in _POINT_AXES:
-        return "point"
-    if name in _CONFIG_FIELDS:
-        return "config"
-    if name in _WORKLOAD_FIELDS:
-        return "workload"
-    raise ConfigurationError(
-        f"unknown sweep axis {name!r}: not a PointSpec, ProtocolConfig, "
-        f"or YCSBConfig field"
+def apply_overrides(sweep: SweepSpec, overrides: Mapping[str, object]) -> SweepSpec:
+    """Apply dotted-key overrides to every point (the CLI ``--set`` flag).
+
+    Keys route through :func:`repro.api.spec.route_key`: config/workload
+    keys land in the per-point override dicts (on top of whatever the point
+    already pins), run-level keys (``system``, ``scenario``, ``duration``,
+    ...) replace the point fields.  Returns a new sweep; digests change
+    accordingly, so overridden runs are fresh cache entries.
+    """
+    if not overrides:
+        return sweep
+    config_ov, workload_ov, run_ov = split_overrides(overrides)
+    points = tuple(
+        dataclasses.replace(
+            point,
+            config={**point.config, **config_ov},
+            workload={**point.workload, **workload_ov},
+            **run_ov,
+        )
+        for point in sweep.points
     )
+    return dataclasses.replace(sweep, points=points)
+
+
+# ------------------------------------------------------------------ file-defined sweeps
 
 
 def sweep_from_grid(
@@ -287,15 +271,18 @@ def sweep_from_grid(
     warmup: float = 0.4,
     config: Optional[Mapping[str, object]] = None,
     workload: Optional[Mapping[str, object]] = None,
-    scenario: str = "baseline",
+    scenario: object = "baseline",
     system: str = "serverless_bft",
 ) -> SweepSpec:
     """Expand a grid into a :class:`SweepSpec`, routing each axis by name.
 
-    Axes named after ``ProtocolConfig`` fields become protocol overrides,
-    ``YCSBConfig`` fields become workload overrides, and ``scenario`` /
-    ``system`` / ``consensus_engine`` / ``execution_threads`` select the
-    point variant.  ``config`` / ``workload`` supply grid-wide constants.
+    Axes route through the facade's dotted-key resolver: ``ProtocolConfig``
+    fields become protocol overrides, ``YCSBConfig`` fields workload
+    overrides, and run-level names (``scenario`` / ``system`` /
+    ``consensus_engine`` / ``execution_threads`` / ``duration`` /
+    ``warmup``) select the point variant.  ``config`` / ``workload`` supply
+    grid-wide constants; ``scenario`` may be a preset name or a list of
+    presets to compose.
     """
     shared_config = dict(config or {})
     shared_workload = dict(workload or {})
@@ -309,24 +296,24 @@ def sweep_from_grid(
         point_fields: Dict[str, object] = {
             "scenario": scenario,
             "system": system,
+            "duration": duration,
+            "warmup": warmup,
         }
         config_overrides = dict(shared_config)
         workload_overrides = dict(shared_workload)
         for axis, value in combo.items():
-            route = _route_axis(axis)
-            if route == "point":
-                point_fields[axis] = value
-            elif route == "config":
-                config_overrides[axis] = value
+            target, fieldname = route_key(axis)
+            if target == "run":
+                point_fields[fieldname] = value
+            elif target == "config":
+                config_overrides[fieldname] = value
             else:
-                workload_overrides[axis] = value
+                workload_overrides[fieldname] = value
         points.append(
             PointSpec(
                 labels=combo,
                 config=config_overrides,
                 workload=workload_overrides,
-                duration=duration,
-                warmup=warmup,
                 **point_fields,
             )
         )
@@ -340,7 +327,8 @@ def sweep_from_dict(payload: Mapping[str, object]) -> SweepSpec:
 
         {"name": "my-sweep", "base": "scale", "seed": 3,
          "duration": 1.0, "warmup": 0.2,
-         "scenario": "baseline", "system": "serverless_bft",
+         "scenario": "baseline",              # or a list to compose
+         "system": "serverless_bft",
          "config": {"crypto_backend": "fast"},
          "workload": {"write_fraction": 0.5},
          "grid": {"batch_size": [5, 25], "num_executors": [3, 5]}}
@@ -350,6 +338,7 @@ def sweep_from_dict(payload: Mapping[str, object]) -> SweepSpec:
     if "name" not in payload:
         raise ConfigurationError("a sweep file needs a 'name'")
     grid = GridSpec(payload["grid"])  # type: ignore[arg-type]
+    scenario = payload.get("scenarios", payload.get("scenario", "baseline"))
     return sweep_from_grid(
         name=str(payload["name"]),
         grid=grid,
@@ -359,6 +348,6 @@ def sweep_from_dict(payload: Mapping[str, object]) -> SweepSpec:
         warmup=float(payload.get("warmup", 0.4)),  # type: ignore[arg-type]
         config=payload.get("config"),  # type: ignore[arg-type]
         workload=payload.get("workload"),  # type: ignore[arg-type]
-        scenario=str(payload.get("scenario", "baseline")),
+        scenario=scenario,
         system=str(payload.get("system", "serverless_bft")),
     )

@@ -279,7 +279,11 @@ def test_region_outage_plan_drops_executor_region_traffic():
 
     sweep = _tiny_sweep("outage-probe")
     point = sweep.points[0]
-    resolved = dict(resolve_point(sweep, point), scenario="region-outage")
+    resolved = dict(
+        resolve_point(sweep, point),
+        scenario="region-outage",
+        scenarios=["region-outage"],
+    )
     simulation = build_simulation(resolved)
     plan = simulation.network.fault_plan
     simulation.network.register("probe-endpoint", "us-east-2", lambda *_args: None)
