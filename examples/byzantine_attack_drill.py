@@ -13,10 +13,12 @@ Three scenarios from Section V and VI:
    and flood the verifier with duplicates; the matching quorum filters them
    out and the storage is updated only with the honest result.
 
-The bespoke fault objects attach directly to the :class:`repro.api.RunSpec`
-(``node_behaviours`` / ``executor_behaviour_factory``) — the facade
-validates them against the selected system's declared capabilities, so the
-same spec would fail loudly on a system that cannot host the fault.
+Each attack is a *scenario preset* (``request-suppression``,
+``fewer-executors``, ``byzantine-executors``, ``verify-flooding``) — the
+same names work in sweeps (``python -m repro.sweep run scenario-drills``),
+compose with other presets (``scenarios=["request-suppression",
+"skewed-ycsb"]``), and keep the run content-addressable, which bespoke
+fault objects attached to a ``RunSpec`` never were.
 
 Run with:  python examples/byzantine_attack_drill.py
 (CI runs every example with REPRO_EXAMPLE_DURATION=0.4 as a smoke test.)
@@ -25,15 +27,10 @@ Run with:  python examples/byzantine_attack_drill.py
 from _common import example_duration
 
 from repro.api import RunSpec, run
-from repro.faults.byzantine import (
-    DuplicateVerifyBehaviour,
-    FewerExecutorsBehaviour,
-    RequestIgnoranceBehaviour,
-    WrongResultBehaviour,
-)
-from repro.faults.injector import PerBatchExecutorFaults
 
 #: Small deployment with tight timeouts so recovery fits in a short run.
+#: (The drill presets default to the same aggressive timers; pinning them
+#: here keeps the drill reproducible even if the presets evolve.)
 BASE_OVERRIDES = {
     "protocol.shim_nodes": 4,
     "protocol.num_executors": 3,
@@ -50,23 +47,20 @@ BASE_OVERRIDES = {
 }
 
 
-def drill_spec(duration: float, **fault_kwargs) -> RunSpec:
+def drill_spec(duration: float, *scenarios: str) -> RunSpec:
     return RunSpec(
         system="serverless_bft",
         base="default",
         overrides=BASE_OVERRIDES,
+        scenarios=scenarios,
         duration=duration,
         warmup=0.0,
-        **fault_kwargs,
     )
 
 
 def scenario_request_suppression() -> None:
     print("\n[1] Request suppression: byzantine primary drops every request")
-    result = run(drill_spec(
-        example_duration(6.0),
-        node_behaviours={"node-0": RequestIgnoranceBehaviour(drop_every=1)},
-    ))
+    result = run(drill_spec(example_duration(6.0), "request-suppression"))
     print(f"    client retransmissions to the verifier : {result.client_retransmissions}")
     print(f"    verifier ERROR broadcasts               : {result.verifier_errors_sent}")
     print(f"    view changes installed                  : {result.view_changes}")
@@ -75,10 +69,7 @@ def scenario_request_suppression() -> None:
 
 def scenario_fewer_executors() -> None:
     print("\n[2] Fewer executors: byzantine primary spawns only 1 of 3 executors")
-    result = run(drill_spec(
-        example_duration(6.0),
-        node_behaviours={"node-0": FewerExecutorsBehaviour(spawn_at_most=1)},
-    ))
+    result = run(drill_spec(example_duration(6.0), "fewer-executors"))
     print(f"    REPLACE messages from the verifier      : {result.verifier_replace_sent}")
     print(f"    view changes installed                  : {result.view_changes}")
     print(f"    transactions committed despite attack   : {result.committed_txns}")
@@ -86,20 +77,12 @@ def scenario_fewer_executors() -> None:
 
 def scenario_byzantine_executors() -> None:
     print("\n[3] Byzantine executors: f_E executors fabricate results and flood")
-    wrong_result = PerBatchExecutorFaults(count=1, behaviour_factory=WrongResultBehaviour)
-    result = run(drill_spec(
-        example_duration(4.0), executor_behaviour_factory=wrong_result
-    ))
+    result = run(drill_spec(example_duration(4.0), "byzantine-executors"))
     print(f"    transactions committed                  : {result.committed_txns}")
     print(f"    transactions aborted                    : {result.aborted_txns}")
     print(f"    duplicate/ignored VERIFY messages       : {result.verifier_ignored_verify}")
 
-    flooding = PerBatchExecutorFaults(
-        count=1, behaviour_factory=lambda: DuplicateVerifyBehaviour(copies=10)
-    )
-    result = run(drill_spec(
-        example_duration(4.0), executor_behaviour_factory=flooding
-    ))
+    result = run(drill_spec(example_duration(4.0), "verify-flooding"))
     print(f"    with flooding executors, ignored VERIFY : {result.verifier_ignored_verify}")
     print(f"    throughput still sustained              : {result.throughput_txn_per_sec:,.0f} txn/s")
 

@@ -34,6 +34,8 @@ from repro.api.facade import (
     resolve,
     result_digest,
     run,
+    run_replicates,
+    spec_digest,
     workload_config_from_dict,
 )
 from repro.api.registry import (
@@ -54,10 +56,12 @@ from repro.api.spec import (
     compose_runner_kwargs,
     compose_scenarios,
     normalize_scenarios,
+    replicate_specs,
     resolve_run,
     route_key,
     scenario_key,
     split_overrides,
+    validate_seed_label,
 )
 
 __all__ = [
@@ -78,6 +82,10 @@ __all__ = [
     "normalize_scenarios",
     "protocol_config_from_dict",
     "register_system",
+    "replicate_specs",
+    "run_replicates",
+    "spec_digest",
+    "validate_seed_label",
     "resolve",
     "resolve_run",
     "result_digest",

@@ -11,19 +11,21 @@ worker on another core.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.api.registry import get_system
 from repro.api.spec import (
     RunSpec,
     compose_runner_kwargs,
     merge_runner_knob,
+    replicate_specs,
     resolve_run,
     split_overrides,
 )
 from repro.core.config import ConflictMode, ProtocolConfig, SpawnPolicyName
 from repro.core.runner import SimulationResult
 from repro.crypto.costs import CryptoCostModel
+from repro.errors import ConfigurationError
 from repro.workload.ycsb import YCSBConfig
 
 
@@ -111,17 +113,92 @@ def build_deployment(
     return deployment
 
 
-def run(spec: RunSpec) -> SimulationResult:
-    """Resolve, build, and run one deployment — the single front door."""
+def spec_digest(spec: RunSpec) -> str:
+    """The run's content address — the same key the sweep store uses.
+
+    SHA-256 of the fully resolved run (labels excluded), so an ad-hoc
+    ``repro.api.run`` and a sweep point with the same resolved configuration
+    share one cache entry.  Not to be confused with :func:`result_digest`,
+    which fingerprints a finished result's simulated metrics.
+    """
+    from repro.sweep.spec import point_digest
+
+    return point_digest(resolve(spec))
+
+
+def run(spec: RunSpec, store=None) -> SimulationResult:
+    """Resolve, build, and run one deployment — the single front door.
+
+    ``store`` (a :class:`repro.sweep.store.ResultStore`, or a path string
+    for one) gives ad-hoc facade runs the same cache-hit/resume behaviour
+    sweeps already have: the run's content address (:func:`spec_digest`) is
+    looked up before building anything, and a finished run is appended to
+    the store so the next identical ``run`` call never re-simulates.
+
+    Bespoke fault objects attached directly to the spec
+    (``node_behaviours`` / ``executor_behaviour_factory`` /
+    ``network_fault_plan``) are **not** part of the content address, so
+    caching them would alias a faulted run with a clean one; such specs are
+    rejected when a store is given — register the faults as a scenario
+    preset (:func:`repro.sweep.scenarios.register_scenario`) instead.
+    """
+    if spec.replicates != 1:
+        raise ConfigurationError(
+            f"spec declares replicates={spec.replicates}; use "
+            f"repro.api.run_replicates to run the whole family"
+        )
     resolved = resolve(spec)
+    direct_kwargs = spec.direct_runner_kwargs()
+    digest: Optional[str] = None
+    if store is not None:
+        if direct_kwargs:
+            raise ConfigurationError(
+                "a result store cannot cache runs carrying bespoke fault "
+                f"objects ({sorted(direct_kwargs)} are not part of the "
+                "content address); register the faults as a scenario preset "
+                "and name it in RunSpec.scenarios instead"
+            )
+        from repro.sweep.serialization import result_from_dict
+        from repro.sweep.spec import point_digest
+        from repro.sweep.store import ResultStore
+
+        if isinstance(store, str):
+            store = ResultStore(store)
+        digest = point_digest(resolved)
+        record = store.get(digest)
+        if record is not None:
+            return result_from_dict(record["result"])
     deployment = build_deployment(
         resolved,
-        extra_runner_kwargs=spec.direct_runner_kwargs(),
+        extra_runner_kwargs=direct_kwargs,
         tracer_enabled=spec.tracer_enabled,
     )
-    return deployment.run(
+    result = deployment.run(
         duration=float(resolved["duration"]), warmup=float(resolved["warmup"])
     )
+    if store is not None and digest is not None:
+        from repro.sweep.serialization import result_to_dict
+
+        store.put(digest, resolved, result_to_dict(result), sweep_name="api-run")
+    return result
+
+
+def run_replicates(spec: RunSpec, store=None) -> List[SimulationResult]:
+    """Run every replicate of a spec, in replicate order.
+
+    Expands the spec through :func:`repro.api.spec.replicate_specs` (one
+    per-seed spec per replicate) and runs each through :func:`run`, so with
+    a ``store`` every replicate is cached and resumed individually — an
+    interrupted family picks up where it stopped, and a re-run is a 100%
+    cache hit.  ``replicates=1`` is exactly one ordinary :func:`run`.
+    """
+    if isinstance(store, str):
+        # Load the JSONL file once for the whole family, not once per
+        # replicate (run() accepts a path too, but re-parses it each call).
+        from repro.sweep.store import ResultStore
+
+        store = ResultStore(store)
+    return [run(replicate, store=store) for replicate in replicate_specs(spec)]
 
 
 def build_system(

@@ -82,6 +82,7 @@ _RUN_FIELDS = frozenset(
         "execution_threads",
         "duration",
         "warmup",
+        "replicates",
     }
 )
 
@@ -139,17 +140,48 @@ def split_overrides(
     return config, workload, run
 
 
+# ------------------------------------------------------------------ seed-label hygiene
+
+
+def validate_seed_label(component: object, what: str) -> object:
+    """Reject ``/`` in a component that enters a ``derive_seed`` label path.
+
+    :func:`repro.sim.rng.derive_seed` joins its labels with ``/`` and no
+    escaping, so ``("a/b",)`` and ``("a", "b")`` derive the *same* seed.
+    Changing the derivation would invalidate every content-addressed result
+    store, so instead the components that reach seed derivation (scenario
+    names, replicate labels) are validated here: a ``/`` could silently
+    alias two distinct RNG streams, which is exactly what replicated runs
+    must never do.
+    """
+    if isinstance(component, str) and "/" in component:
+        raise ConfigurationError(
+            f"{what} {component!r} must not contain '/': seed derivation joins "
+            f"label components with '/', so it would alias another label path "
+            f"(e.g. derive_seed(s, 'a/b') == derive_seed(s, 'a', 'b'))"
+        )
+    return component
+
+
 # ------------------------------------------------------------------ scenario composition
 
 
 def normalize_scenarios(scenario) -> Tuple[str, ...]:
-    """Canonicalise a scenario selector: str | sequence -> non-empty tuple."""
+    """Canonicalise a scenario selector: str | sequence -> non-empty tuple.
+
+    Scenario names feed per-point seed derivation (via the canonical
+    scenario key), so names containing ``/`` are rejected — see
+    :func:`validate_seed_label`.
+    """
     if scenario is None:
         return ("baseline",)
     if isinstance(scenario, str):
-        return (scenario,) if scenario else ("baseline",)
-    names = tuple(str(name) for name in scenario)
-    return names if names else ("baseline",)
+        names: Tuple[str, ...] = (scenario,) if scenario else ("baseline",)
+    else:
+        names = tuple(str(name) for name in scenario) or ("baseline",)
+    for name in names:
+        validate_seed_label(name, "scenario name")
+    return names
 
 
 def scenario_key(scenario) -> str:
@@ -329,6 +361,12 @@ class RunSpec:
     ``seed=None`` uses the ``seed`` override if one was given, else the
     deployment default (1); either way the materialised seed ends up in the
     resolved run, so resolution is always fully pinned.
+
+    ``replicates`` declares how many statistically independent repetitions
+    of this run the caller wants: :func:`replicate_specs` expands the spec
+    into that many single-replicate specs with per-replicate derived seeds.
+    ``replicates=1`` (the default) is the spec itself — resolution and
+    content address are bit-identical to a spec without the field.
     """
 
     system: str = "serverless_bft"
@@ -340,6 +378,7 @@ class RunSpec:
     warmup: float = 0.4
     consensus_engine: str = "pbft"
     execution_threads: int = 16
+    replicates: int = 1
     node_behaviours: Optional[Mapping[str, object]] = None
     executor_behaviour_factory: Optional[Callable] = None
     network_fault_plan: Optional[object] = None
@@ -356,6 +395,8 @@ class RunSpec:
             raise ConfigurationError("duration must be positive")
         if self.warmup < 0 or self.warmup >= self.duration:
             raise ConfigurationError("warmup must be inside [0, duration)")
+        if self.replicates < 1:
+            raise ConfigurationError("replicates must be >= 1")
         config_ov, _workload_ov, run_ov = split_overrides(self.overrides)
         if run_ov:
             raise ConfigurationError(
@@ -376,6 +417,47 @@ class RunSpec:
         if self.network_fault_plan is not None:
             kwargs["network_fault_plan"] = self.network_fault_plan
         return kwargs
+
+
+def replicate_fields(
+    labels: Mapping[str, object], base_seed: int, index: int
+) -> Dict[str, object]:
+    """The field changes that turn a spec into its ``index``-th replicate.
+
+    One definition of the family contract — seed chain extended with the
+    replicate index, ``replicate`` label recorded, count collapsed to 1 —
+    shared by :func:`replicate_specs` (facade) and
+    :func:`repro.sweep.spec.expand_replicates` (sweeps), so a facade-run
+    replicate and a sweep-run replicate of the same configuration are
+    guaranteed the same content address and report group.
+    """
+    return {
+        "replicates": 1,
+        "seed": derive_seed(base_seed, "replicate", index),
+        "labels": {**dict(labels), "replicate": index},
+    }
+
+
+def replicate_specs(spec: RunSpec) -> Tuple[RunSpec, ...]:
+    """Expand a spec into its per-seed replicate runs.
+
+    ``replicates=1`` returns the spec itself unchanged, so resolution and
+    content address stay bit-identical to the single-run era.  For
+    ``replicates=N`` each replicate ``i`` pins the seed
+    ``derive_seed(spec.seed, "replicate", i)`` — the spec's own seed chain
+    extended with the replicate index — and records the index in ``labels``
+    so result-store records and report tables can group the family back
+    together.  Every replicate is a plain ``replicates=1`` spec: it
+    resolves, digests, and caches like any other run.
+    """
+    if spec.replicates == 1:
+        return (spec,)
+    return tuple(
+        dataclasses.replace(
+            spec, **replicate_fields(spec.labels, int(spec.seed), index)
+        )
+        for index in range(spec.replicates)
+    )
 
 
 # ------------------------------------------------------------------ resolution

@@ -11,6 +11,13 @@ Grid expansion goes through :class:`repro.sweep.spec.GridSpec` — the same
 declarative grid layer the measured sweeps (``repro.sweep``) use — so model
 sweeps and message-level sweeps share one definition of "a parameter grid"
 (ordering, axis naming, expansion semantics).
+
+The figures are also addressable as *presets*: :data:`MODEL_PRESETS` maps
+the fig5–fig8/ablation names to their factories, and
+:func:`model_preset_tables` / :func:`markdown_report` evaluate them for the
+report layer (``python -m repro.report --model-presets``) — rendering goes
+through :mod:`repro.report.tables`, the same markdown dialect the
+store-backed replicate tables use.
 """
 
 from __future__ import annotations
@@ -417,3 +424,47 @@ def conflict_avoidance_ablation(
             abort_fraction=model._abort_fraction(),
         )
     return table
+
+
+# --------------------------------------------------------------------------- presets
+
+
+#: The paper's figures by name — every factory takes only defaults and
+#: returns an :class:`ExperimentTable`.  The report CLI renders these
+#: alongside the store-backed measured tables; evaluation is closed-form,
+#: so "no simulation" holds for the whole document.
+MODEL_PRESETS = {
+    "fig5-client-congestion": client_congestion,
+    "fig6-executor-scaling": executor_scaling,
+    "fig6-batching": batching,
+    "fig6-expensive-execution": expensive_execution,
+    "fig6-region-distribution": region_distribution,
+    "fig6-computing-power": computing_power,
+    "fig6-conflicting-transactions": conflicting_transactions,
+    "fig7-baseline-comparison": baseline_comparison,
+    "fig8-task-offloading": task_offloading,
+    "ablation-spawning-policy": spawning_policy_ablation,
+    "ablation-conflict-avoidance": conflict_avoidance_ablation,
+}
+
+
+def model_preset_tables(names: Optional[Sequence[str]] = None):
+    """Evaluate the named model presets (all of them by default), in order."""
+    from repro.errors import ConfigurationError
+
+    selected = list(names) if names else list(MODEL_PRESETS)
+    unknown = [name for name in selected if name not in MODEL_PRESETS]
+    if unknown:
+        known = ", ".join(MODEL_PRESETS)
+        raise ConfigurationError(f"unknown model presets {unknown} (known: {known})")
+    return [MODEL_PRESETS[name]() for name in selected]
+
+
+def markdown_report(names: Optional[Sequence[str]] = None) -> str:
+    """All requested model-preset tables as one markdown fragment."""
+    from repro.report.tables import markdown_table
+
+    sections = []
+    for table in model_preset_tables(names):
+        sections.append(f"## {table.name}\n\n{markdown_table(table)}")
+    return "\n\n".join(sections) + "\n"

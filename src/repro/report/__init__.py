@@ -1,0 +1,56 @@
+"""Sweep-results reporting: honest error bars from replicated runs.
+
+The paper's figures are means over repeated runs; this package turns a
+content-addressed result store (written by ``python -m repro.sweep run
+... --replicates N`` or :func:`repro.api.run_replicates`) into
+``EXPERIMENTS.md`` tables and error-bar plots — without re-simulating:
+
+* :mod:`repro.report.aggregate` — group store records into replicate
+  families; mean ± std for scalars, exactly-pooled latency means, and
+  across-seed percentile *spreads* (percentiles are never averaged).
+* :mod:`repro.report.render` — byte-stable ``EXPERIMENTS.md`` rendering.
+* :mod:`repro.report.tables` — the shared markdown-table primitive (also
+  used by the analytical-model presets in :mod:`repro.bench.experiments`).
+* :mod:`repro.report.plots` — matplotlib error-bar figures, optional.
+* :mod:`repro.report.cli` — ``python -m repro.report``.
+"""
+
+from repro.report.aggregate import (
+    DEFAULT_SCALAR_METRICS,
+    LatencyStats,
+    MetricStats,
+    PercentileSpread,
+    SeriesPoint,
+    aggregate_records,
+    latency_stats,
+    load_store_points,
+    metric_stats,
+    pooled_mean,
+    pooled_percentile,
+)
+from repro.report.render import (
+    format_error_bar,
+    format_spread,
+    render_markdown,
+    render_sweep_section,
+)
+from repro.report.tables import markdown_table
+
+__all__ = [
+    "DEFAULT_SCALAR_METRICS",
+    "LatencyStats",
+    "MetricStats",
+    "PercentileSpread",
+    "SeriesPoint",
+    "aggregate_records",
+    "format_error_bar",
+    "format_spread",
+    "latency_stats",
+    "load_store_points",
+    "markdown_table",
+    "metric_stats",
+    "pooled_mean",
+    "pooled_percentile",
+    "render_markdown",
+    "render_sweep_section",
+]

@@ -1,0 +1,5 @@
+import sys
+
+from repro.report.cli import main
+
+sys.exit(main())

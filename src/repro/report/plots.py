@@ -1,0 +1,111 @@
+"""Error-bar plots for aggregated sweep results (matplotlib-gated).
+
+Plot rendering is strictly optional: matplotlib is not a dependency of the
+reproduction, so everything here degrades to a no-op with an explanatory
+message when it is missing.  When available, each sweep in the store
+renders one throughput and one latency figure — x is the first numeric
+label axis, one line per remaining-label combination, and the y error bars
+are the across-seed standard deviation (throughput) or the per-seed
+percentile spread (latency p99), matching the table semantics of
+:mod:`repro.report.render`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.report.aggregate import SeriesPoint
+
+
+def matplotlib_available() -> bool:
+    try:  # pragma: no cover - environment-dependent
+        import matplotlib  # noqa: F401
+
+        return True
+    except Exception:
+        return False
+
+
+def _numeric_axis(points: Sequence[SeriesPoint]) -> Optional[str]:
+    """The first label key whose values are all numeric (the x axis)."""
+    for key, _value in points[0].labels:
+        values = [point.label(key) for point in points]
+        if all(isinstance(value, (int, float)) and not isinstance(value, bool)
+               for value in values):
+            return key
+    return None
+
+
+def _series_of(points: Sequence[SeriesPoint], x_axis: str):
+    """Split points into plot lines keyed by every non-x label + system."""
+    series: Dict[str, List[SeriesPoint]] = {}
+    for point in points:
+        parts = [
+            f"{key}={value}" for key, value in point.labels if key != x_axis
+        ]
+        if point.system:
+            parts.append(point.system)
+        series.setdefault(" ".join(parts) or point.sweep, []).append(point)
+    return sorted(series.items())
+
+
+def render_plots(
+    grouped: Dict[str, List[SeriesPoint]], output_dir: str
+) -> List[str]:
+    """Write one throughput and one latency error-bar figure per sweep.
+
+    Returns the written paths.  Raises :class:`RuntimeError` when
+    matplotlib is unavailable — callers should check
+    :func:`matplotlib_available` first and skip gracefully.
+    """
+    if not matplotlib_available():
+        raise RuntimeError(
+            "matplotlib is not installed; EXPERIMENTS.md tables were still "
+            "rendered — install matplotlib to get error-bar figures"
+        )
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(output_dir, exist_ok=True)
+    written: List[str] = []
+    for sweep, points in sorted(grouped.items()):
+        x_axis = _numeric_axis(points)
+        if x_axis is None:
+            # No silent coverage gaps: the user asked for plots, so a sweep
+            # that cannot be plotted must say so rather than just not appear.
+            print(
+                f"[report] sweep {sweep!r} has no numeric label axis — "
+                f"no figure written (tables still cover it)"
+            )
+            continue
+        for kind, ylabel in (("throughput", "throughput (txn/s)"),
+                             ("latency", "latency (s)")):
+            figure, axes = plt.subplots(figsize=(6.0, 4.0))
+            for label, line_points in _series_of(points, x_axis):
+                line_points = sorted(line_points, key=lambda p: p.label(x_axis))
+                xs = [point.label(x_axis) for point in line_points]
+                if kind == "throughput":
+                    stats = [point.metrics["throughput_txn_s"] for point in line_points]
+                    ys = [stat.mean for stat in stats]
+                    errors = [stat.std for stat in stats]
+                else:
+                    ys = [point.latency.mean for point in line_points]
+                    p99 = [point.latency.spreads[-1] for point in line_points]
+                    errors = [
+                        [max(0.0, y - spread.low) for y, spread in zip(ys, p99)],
+                        [max(0.0, spread.high - y) for y, spread in zip(ys, p99)],
+                    ]
+                axes.errorbar(xs, ys, yerr=errors, marker="o", capsize=3, label=label)
+            axes.set_xlabel(x_axis)
+            axes.set_ylabel(ylabel)
+            axes.set_title(f"{sweep} — {kind}")
+            axes.legend(fontsize="small")
+            figure.tight_layout()
+            path = os.path.join(output_dir, f"{sweep}-{kind}.png")
+            figure.savefig(path, dpi=120)
+            plt.close(figure)
+            written.append(path)
+    return written

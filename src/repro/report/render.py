@@ -1,0 +1,147 @@
+"""Render a result store into ``EXPERIMENTS.md``.
+
+One section per sweep in the store; each row is one aggregated series
+point — *all* replicate seeds of one configuration — showing mean ± std
+error bars for scalar metrics, the exactly-pooled latency mean, and the
+across-seed spread (never an average — see :mod:`repro.report.aggregate`)
+for latency percentiles.
+
+Rendering is a pure function of the store contents: groups are sorted,
+floats are formatted with fixed precision, and nothing host- or
+time-dependent enters the output, so rendering the same store twice
+produces byte-identical documents (locked down by the report tests and
+relied on by CI, which diffs re-renders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.report.aggregate import (
+    DEFAULT_SCALAR_METRICS,
+    LatencyStats,
+    MetricStats,
+    SeriesPoint,
+    load_store_points,
+)
+from repro.report.tables import format_value, markdown_rows
+
+#: Fixed cell formats: wide enough for throughput, precise enough for
+#: sub-millisecond latency spreads.
+SCALAR_FORMAT = "{:,.1f}"
+LATENCY_FORMAT = "{:.4f}"
+
+
+def format_error_bar(stats: MetricStats, float_format: str = SCALAR_FORMAT) -> str:
+    """``mean ± std`` for replicated points, the bare value for single runs."""
+    mean = float_format.format(stats.mean)
+    if stats.n == 1:
+        return mean
+    return f"{mean} ± {float_format.format(stats.std)}"
+
+
+def format_latency_mean(latency: LatencyStats) -> str:
+    mean = LATENCY_FORMAT.format(latency.mean)
+    if latency.seeds == 1:
+        return mean
+    return f"{mean} ± {LATENCY_FORMAT.format(latency.mean_std)}"
+
+
+def format_spread(low: float, high: float, seeds: int) -> str:
+    """The across-seed envelope of a percentile: ``low–high``, not a mean."""
+    if seeds == 1 or LATENCY_FORMAT.format(low) == LATENCY_FORMAT.format(high):
+        return LATENCY_FORMAT.format(low)
+    return f"{LATENCY_FORMAT.format(low)}–{LATENCY_FORMAT.format(high)}"
+
+
+def _label_columns(points: Sequence[SeriesPoint]) -> List[str]:
+    columns: List[str] = []
+    for point in points:
+        for key, _value in point.labels:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def render_sweep_section(name: str, points: Sequence[SeriesPoint]) -> str:
+    """One markdown section: heading, provenance line, aggregated table."""
+    label_columns = _label_columns(points)
+    show_system = "system" not in label_columns and len(
+        {point.system for point in points}
+    ) > 1
+    show_scenario = "scenario" not in label_columns and len(
+        {point.scenario for point in points}
+    ) > 1
+    columns = list(label_columns)
+    if show_system:
+        columns.append("system")
+    if show_scenario:
+        columns.append("scenario")
+    metric_columns = [column for column, _field in DEFAULT_SCALAR_METRICS]
+    columns += (
+        ["seeds"]
+        + metric_columns
+        + ["latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_p99_s"]
+    )
+
+    rows: List[List[str]] = []
+    for point in points:
+        row = [format_value(point.label(key, "")) for key in label_columns]
+        if show_system:
+            row.append(point.system)
+        if show_scenario:
+            row.append(point.scenario)
+        row.append(str(point.replicates))
+        for column in metric_columns:
+            row.append(format_error_bar(point.metrics[column]))
+        row.append(format_latency_mean(point.latency))
+        for spread in point.latency.spreads:
+            row.append(format_spread(spread.low, spread.high, point.latency.seeds))
+        rows.append(row)
+
+    seeds = {point.replicates for point in points}
+    seed_note = (
+        f"{min(seeds)}–{max(seeds)}" if len(seeds) > 1 else f"{next(iter(seeds))}"
+    )
+    return "\n".join(
+        [
+            f"## {name}",
+            "",
+            f"{len(points)} points × {seed_note} seed(s); scalar cells are "
+            f"mean ± std across seeds, the latency mean is pooled over all "
+            f"samples, and percentile cells are the across-seed min–max "
+            f"spread (percentiles are never averaged).",
+            "",
+            markdown_rows(columns, rows),
+        ]
+    )
+
+
+def render_markdown(
+    store,
+    sweeps: Optional[Sequence[str]] = None,
+    title: str = "EXPERIMENTS",
+) -> str:
+    """The full ``EXPERIMENTS.md`` document for one result store.
+
+    Purely a read: every row comes from records already in the store, so
+    rendering can never trigger a simulation.
+    """
+    grouped: Dict[str, List[SeriesPoint]] = load_store_points(store, sweeps=sweeps)
+    total_points = sum(len(points) for points in grouped.values())
+    total_runs = sum(
+        point.replicates for points in grouped.values() for point in points
+    )
+    lines = [
+        f"# {title}",
+        "",
+        "Rendered from a content-addressed result store by "
+        "`python -m repro.report` — no simulations were run to produce "
+        "this document.",
+        "",
+        f"{len(grouped)} sweep(s), {total_points} aggregated point(s), "
+        f"{total_runs} stored run(s).",
+    ]
+    for name, points in grouped.items():
+        lines += ["", render_sweep_section(name, points)]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,45 @@
+"""Markdown table rendering — the report layer's output primitive.
+
+The bench harness keeps its aligned-text :func:`repro.bench.harness.
+format_table` for terminal output; everything that lands in
+``EXPERIMENTS.md`` goes through this module instead, so the analytical
+model presets (``repro.bench.experiments``) and the store-backed replicate
+aggregates share one table dialect.  Rendering is pure and deterministic:
+the same inputs always produce the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_value(value: object, float_format: str = "{:,.3f}") -> str:
+    """One table cell: floats through ``float_format``, the rest via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def markdown_rows(columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A GitHub-markdown table from pre-rendered cells."""
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def markdown_table(table, float_format: str = "{:,.3f}") -> str:
+    """Render an :class:`~repro.bench.harness.ExperimentTable` as markdown."""
+    columns = list(table.columns)
+    rendered: List[List[str]] = [
+        [format_value(row.get(column, ""), float_format) for column in columns]
+        for row in table.rows
+    ]
+    return markdown_rows(columns, rendered)

@@ -43,10 +43,12 @@ from repro.sweep.spec import (
     PointSpec,
     SweepSpec,
     apply_overrides,
+    expand_replicates,
     point_digest,
     resolve_point,
     sweep_from_dict,
     sweep_from_grid,
+    with_replicates,
 )
 from repro.sweep.store import ResultStore
 
@@ -63,6 +65,7 @@ __all__ = [
     "apply_overrides",
     "build_simulation",
     "build_sweep",
+    "expand_replicates",
     "get_scenario",
     "point_digest",
     "register_scenario",
@@ -77,4 +80,5 @@ __all__ = [
     "sweep_from_dict",
     "sweep_from_grid",
     "sweep_names",
+    "with_replicates",
 ]

@@ -6,6 +6,7 @@ Subcommands::
     scenarios                scenario presets and their descriptions
     list-systems             registered systems and their capabilities
     run NAME_OR_FILE         run a named or file-defined (JSON) sweep
+    report                   render EXPERIMENTS.md from a result store
 
 ``run`` resolves every point to its content address, serves cached points
 from the result store (``--store``), simulates the rest with ``--workers``
@@ -14,7 +15,10 @@ and exits non-zero on failed points.  ``--expect-all-cached`` additionally
 fails the run if any point had to be simulated — CI uses it to prove the
 store actually caches.  Repeatable ``--set key=value`` flags apply ad-hoc
 dotted-key overrides (``--set protocol.batch_size=25 --set system=noshim``)
-on top of whatever the named sweep pins.
+on top of whatever the named sweep pins.  ``--replicates N`` runs every
+point under N derived seeds (each an individually cached store entry) so
+``report`` can put error bars on the results; ``report`` itself is an
+alias for ``python -m repro.report`` and never simulates anything.
 """
 
 from __future__ import annotations
@@ -31,7 +35,12 @@ from repro.errors import ConfigurationError
 from repro.sweep.presets import build_sweep, sweep_names
 from repro.sweep.runner import print_progress, run_sweep
 from repro.sweep.scenarios import all_scenarios
-from repro.sweep.spec import SweepSpec, apply_overrides, sweep_from_dict
+from repro.sweep.spec import (
+    SweepSpec,
+    apply_overrides,
+    sweep_from_dict,
+    with_replicates,
+)
 from repro.sweep.store import ResultStore
 
 
@@ -98,6 +107,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         sweep = _load_sweep(args.sweep, args.duration, args.warmup, args.seed)
         sweep = apply_overrides(sweep, _parse_set_overrides(args.set or []))
+        if args.replicates is not None:
+            sweep = with_replicates(sweep, args.replicates)
     except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -125,6 +136,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 3
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report.cli import main as report_main
+
+    argv: List[str] = ["--store", args.store, "--output", args.output]
+    for name in args.sweep or []:
+        argv += ["--sweep", name]
+    if args.plots:
+        argv += ["--plots", args.plots]
+    if args.model_presets:
+        argv.append("--model-presets")
+    if args.fail_empty:
+        argv.append("--fail-empty")
+    return report_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,12 +204,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=None, help="override the sweep seed")
     run.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run every point under N derived seeds (error bars via 'report'); "
+        "each replicate is an individually cached store entry",
+    )
+    run.add_argument(
         "--expect-all-cached",
         action="store_true",
         help="fail if any point had to be simulated (CI cache check)",
     )
     run.add_argument("--quiet", action="store_true", help="suppress progress lines")
     run.set_defaults(func=_cmd_run)
+
+    report = sub.add_parser(
+        "report",
+        help="render EXPERIMENTS.md tables/plots from a result store "
+        "(alias for python -m repro.report; never simulates)",
+    )
+    report.add_argument("--store", required=True, help="JSONL result-store path")
+    report.add_argument(
+        "--output", default="-", help="markdown output path ('-' for stdout)"
+    )
+    report.add_argument(
+        "--sweep", action="append", metavar="NAME", help="filter to the named sweep(s)"
+    )
+    report.add_argument(
+        "--plots", metavar="DIR", default="", help="write error-bar PNGs to DIR"
+    )
+    report.add_argument(
+        "--model-presets", action="store_true", help="append analytical-model tables"
+    )
+    report.add_argument(
+        "--fail-empty", action="store_true", help="fail if no table rows rendered"
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

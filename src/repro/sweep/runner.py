@@ -34,7 +34,13 @@ from repro.bench.harness import ExperimentTable
 from repro.core.runner import SimulationResult
 from repro.sweep.scenarios import custom_scenarios
 from repro.sweep.serialization import result_from_dict, result_to_dict
-from repro.sweep.spec import PointSpec, SweepSpec, point_digest, resolve_point
+from repro.sweep.spec import (
+    PointSpec,
+    SweepSpec,
+    expand_replicates,
+    point_digest,
+    resolve_point,
+)
 from repro.sweep.store import ResultStore
 
 ProgressCallback = Callable[["PointOutcome", int, int], None]
@@ -232,8 +238,13 @@ def run_sweep(
     completes within it, the still-running points fail and their workers
     are terminated.  Finished points are written to the store as they
     complete, so an interrupted sweep resumes from where it stopped.
+
+    Points carrying ``replicates=N`` are expanded into N per-seed points
+    first (see :func:`repro.sweep.spec.expand_replicates`), so the report's
+    outcomes — and the store's records — hold one entry per replicate.
     """
     started = time.perf_counter()
+    sweep = expand_replicates(sweep)
     outcomes: List[PointOutcome] = []
     for point in sweep.points:
         try:

@@ -24,6 +24,11 @@ from typing import Callable, Dict, List, Mapping, Optional
 from repro.errors import ConfigurationError
 from repro.faults.byzantine import (
     CrashBehaviour,
+    DelaySpawningBehaviour,
+    DuplicateSpawningBehaviour,
+    DuplicateVerifyBehaviour,
+    FewerExecutorsBehaviour,
+    RequestIgnoranceBehaviour,
     SilentExecutorBehaviour,
     WrongResultBehaviour,
 )
@@ -87,7 +92,15 @@ _REGISTRY: Dict[str, Scenario] = {}
 
 
 def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
-    """Add a scenario to the registry (``replace=True`` to redefine)."""
+    """Add a scenario to the registry (``replace=True`` to redefine).
+
+    Scenario names enter per-point seed derivation (the canonical scenario
+    key is a ``derive_seed`` label component), so names containing ``/``
+    are rejected — they would alias another label path.
+    """
+    from repro.api.spec import validate_seed_label
+
+    validate_seed_label(scenario.name, "scenario name")
     if scenario.name in _REGISTRY and not replace:
         raise ConfigurationError(f"scenario {scenario.name!r} is already registered")
     _REGISTRY[scenario.name] = scenario
@@ -156,6 +169,51 @@ def _shim_crash_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
     return {"node_behaviours": {f"node-{shim_nodes - 1}": CrashBehaviour()}}
 
 
+# The byzantine-attack *node* drills (Section V/VI).  Behaviour objects are
+# built fresh in the executing process by the factories below, so only the
+# scenario name travels through specs and digests — which is what makes the
+# drills composable ("request-suppression" + "skewed-ycsb" is one point) and
+# content-addressable, unlike bespoke fault objects attached to a RunSpec.
+
+#: Aggressive protocol timers shared by the node drills: detection and view
+#: change must fit inside a short drill run.  Scenario defaults sit *under*
+#: point/spec overrides, so a caller pinning its own timers wins.
+_ATTACK_TIMERS = {
+    "client_timeout": 0.4,
+    "node_request_timeout": 0.6,
+    "retransmission_timeout": 0.4,
+    "verifier_quorum_timeout": 0.4,
+}
+
+
+def _request_suppression_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {"node_behaviours": {"node-0": RequestIgnoranceBehaviour(drop_every=1)}}
+
+
+def _fewer_executors_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {"node_behaviours": {"node-0": FewerExecutorsBehaviour(spawn_at_most=1)}}
+
+
+def _duplicate_spawning_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {"node_behaviours": {"node-0": DuplicateSpawningBehaviour(extra_per_batch=2)}}
+
+
+def _delayed_spawning_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "node_behaviours": {
+            "node-0": DelaySpawningBehaviour(delay_seconds=10.0, delay_every=1)
+        }
+    }
+
+
+def _verify_flooding_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "executor_behaviour_factory": PerBatchExecutorFaults(
+            1, lambda: DuplicateVerifyBehaviour(copies=10)
+        )
+    }
+
+
 register_scenario(Scenario(
     name="baseline",
     description="Fault-free run with the deployment's default workload.",
@@ -189,6 +247,35 @@ register_scenario(Scenario(
     name="shim-crash",
     description="The last shim node is crashed (omission failures) throughout.",
     runner_kwargs_factory=_shim_crash_kwargs,
+))
+register_scenario(Scenario(
+    name="request-suppression",
+    description="Byzantine primary drops every client request until replaced.",
+    config_overrides=_ATTACK_TIMERS,
+    runner_kwargs_factory=_request_suppression_kwargs,
+))
+register_scenario(Scenario(
+    name="fewer-executors",
+    description="Byzantine primary spawns only 1 executor; verifier forces a view change.",
+    config_overrides=_ATTACK_TIMERS,
+    runner_kwargs_factory=_fewer_executors_kwargs,
+))
+register_scenario(Scenario(
+    name="duplicate-spawning",
+    description="Byzantine node spawns redundant executors (self-penalising flooding).",
+    config_overrides=_ATTACK_TIMERS,
+    runner_kwargs_factory=_duplicate_spawning_kwargs,
+))
+register_scenario(Scenario(
+    name="delayed-spawning",
+    description="Byzantine primary delays its own spawns (byzantine-abort attack).",
+    config_overrides=_ATTACK_TIMERS,
+    runner_kwargs_factory=_delayed_spawning_kwargs,
+))
+register_scenario(Scenario(
+    name="verify-flooding",
+    description="The first executor of every batch floods the verifier with duplicate VERIFYs.",
+    runner_kwargs_factory=_verify_flooding_kwargs,
 ))
 register_scenario(Scenario(
     name="skewed-ycsb",

@@ -37,6 +37,7 @@ from repro.api.spec import (
     SPEC_SCHEMA_VERSION,
     jsonify as _jsonify,
     normalize_scenarios,
+    replicate_fields,
     resolve_run,
     route_key,
     scenario_key,
@@ -121,6 +122,14 @@ class PointSpec:
     :func:`repro.api.spec.compose_scenarios` for the merge/conflict rules);
     ``system`` may name any system in the registry, including ones
     registered at runtime.
+
+    ``replicates`` asks for N statistically independent repetitions of this
+    point: :func:`expand_replicates` (applied automatically by
+    :func:`repro.sweep.runner.run_sweep`) expands the point into N per-seed
+    points, each content-addressed individually so the result store caches
+    and resumes them like any other point.  ``replicates=1`` leaves the
+    point — and therefore its digest — bit-identical to the pre-replicate
+    era.
     """
 
     labels: Mapping[str, object] = field(default_factory=dict)
@@ -133,6 +142,7 @@ class PointSpec:
     duration: float = 2.0
     warmup: float = 0.4
     seed: Optional[int] = None
+    replicates: int = 1
 
     def __post_init__(self) -> None:
         from repro.api.registry import get_system
@@ -143,6 +153,8 @@ class PointSpec:
             raise ConfigurationError("duration must be positive")
         if self.warmup < 0 or self.warmup >= self.duration:
             raise ConfigurationError("warmup must be inside [0, duration)")
+        if self.replicates < 1:
+            raise ConfigurationError("replicates must be >= 1")
 
     @property
     def scenario_names(self) -> Tuple[str, ...]:
@@ -232,6 +244,55 @@ def point_digest(resolved: Mapping[str, object]) -> str:
     return digest(addressed)
 
 
+# ------------------------------------------------------------------ replication
+
+
+def expand_replicates(sweep: SweepSpec) -> SweepSpec:
+    """Expand every ``replicates=N`` point into N per-seed single points.
+
+    Replicate ``i`` of a point pins the seed
+    ``derive_seed(point_seed(sweep, point), "replicate", i)`` — the point's
+    existing seed chain (sweep seed, sweep name, scenario, system, labels,
+    or a pinned seed) extended with the replicate index — and adds a
+    ``replicate`` label so store records and report tables can group the
+    family.  The expansion itself comes from the same
+    :func:`repro.api.spec.replicate_fields` the facade uses, so sweep and
+    facade replicates of one configuration share content addresses.  Each
+    expanded point is an ordinary pinned-seed point: it resolves and
+    content-addresses individually, so the result store caches and resumes
+    replicates exactly like any other point.  A sweep whose points all have
+    ``replicates=1`` is returned unchanged (same object, so digests are
+    bit-identical to the pre-replicate era).
+    """
+    if all(point.replicates == 1 for point in sweep.points):
+        return sweep
+    expanded: List[PointSpec] = []
+    for point in sweep.points:
+        if point.replicates == 1:
+            expanded.append(point)
+            continue
+        base_seed = point_seed(sweep, point)
+        expanded.extend(
+            dataclasses.replace(
+                point, **replicate_fields(point.labels, base_seed, index)
+            )
+            for index in range(point.replicates)
+        )
+    return dataclasses.replace(sweep, points=tuple(expanded))
+
+
+def with_replicates(sweep: SweepSpec, replicates: int) -> SweepSpec:
+    """Set every point's replicate count (the CLI ``--replicates`` flag)."""
+    if replicates < 1:
+        raise ConfigurationError("replicates must be >= 1")
+    if all(point.replicates == replicates for point in sweep.points):
+        return sweep
+    points = tuple(
+        dataclasses.replace(point, replicates=replicates) for point in sweep.points
+    )
+    return dataclasses.replace(sweep, points=points)
+
+
 # ------------------------------------------------------------------ overrides
 
 
@@ -273,6 +334,7 @@ def sweep_from_grid(
     workload: Optional[Mapping[str, object]] = None,
     scenario: object = "baseline",
     system: str = "serverless_bft",
+    replicates: int = 1,
 ) -> SweepSpec:
     """Expand a grid into a :class:`SweepSpec`, routing each axis by name.
 
@@ -280,9 +342,10 @@ def sweep_from_grid(
     fields become protocol overrides, ``YCSBConfig`` fields workload
     overrides, and run-level names (``scenario`` / ``system`` /
     ``consensus_engine`` / ``execution_threads`` / ``duration`` /
-    ``warmup``) select the point variant.  ``config`` / ``workload`` supply
-    grid-wide constants; ``scenario`` may be a preset name or a list of
-    presets to compose.
+    ``warmup`` / ``replicates``) select the point variant.  ``config`` /
+    ``workload`` supply grid-wide constants; ``scenario`` may be a preset
+    name or a list of presets to compose; ``replicates`` asks for N
+    independent seeds per grid point.
     """
     shared_config = dict(config or {})
     shared_workload = dict(workload or {})
@@ -298,6 +361,7 @@ def sweep_from_grid(
             "system": system,
             "duration": duration,
             "warmup": warmup,
+            "replicates": replicates,
         }
         config_overrides = dict(shared_config)
         workload_overrides = dict(shared_workload)
@@ -329,6 +393,8 @@ def sweep_from_dict(payload: Mapping[str, object]) -> SweepSpec:
          "duration": 1.0, "warmup": 0.2,
          "scenario": "baseline",              # or a list to compose
          "system": "serverless_bft",
+         "replicates": 1,                     # N seeds per grid point
+
          "config": {"crypto_backend": "fast"},
          "workload": {"write_fraction": 0.5},
          "grid": {"batch_size": [5, 25], "num_executors": [3, 5]}}
@@ -350,4 +416,5 @@ def sweep_from_dict(payload: Mapping[str, object]) -> SweepSpec:
         workload=payload.get("workload"),  # type: ignore[arg-type]
         scenario=scenario,
         system=str(payload.get("system", "serverless_bft")),
+        replicates=int(payload.get("replicates", 1)),  # type: ignore[arg-type]
     )

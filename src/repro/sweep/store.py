@@ -11,9 +11,15 @@ The file format is one JSON object per line::
     {"digest": "...", "sweep": "...", "labels": {...}, "result_schema": "...",
      "point": {resolved spec...}, "result": {result dict...}}
 
-Corrupt or truncated trailing lines (a run killed mid-write) are skipped on
-load; the digest of a well-formed record is trusted — it was computed from
-the stored ``point`` payload by the writer and is re-derivable from it.
+Records are durable once reported: every append is flushed *and* fsynced,
+so a point the runner has announced as persisted survives a host or
+container crash, not just a process exit.  Corrupt or truncated lines (a
+run killed mid-write) are skipped on load — wherever they sit in the file,
+valid records before and after a torn one still load — and a later append
+first repairs a torn tail with a newline so the new record never
+concatenates onto the debris.  The digest of a well-formed record is
+trusted — it was computed from the stored ``point`` payload by the writer
+and is re-derivable from it.
 Records whose ``result_schema`` tag does not match the current
 :data:`~repro.sweep.serialization.RESULT_SCHEMA_TAG` are ignored: the point
 digest only covers the *input* spec, so a result-layout change must turn
@@ -75,6 +81,19 @@ class ResultStore:
         """The stored record for ``digest``, or None if never simulated."""
         return self._records.get(digest)
 
+    def _tail_is_torn(self) -> bool:
+        """Whether the file ends in a partial line (crash mid-append).
+
+        Appending straight after a torn tail would concatenate the new
+        record onto the debris, turning one lost line into two.
+        """
+        try:
+            with open(self._path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):  # missing or empty file
+            return False
+
     def put(
         self,
         digest: str,
@@ -82,7 +101,12 @@ class ResultStore:
         result: Mapping[str, object],
         sweep_name: str = "",
     ) -> dict:
-        """Record one finished point: append to the JSONL file and cache it."""
+        """Record one finished point: append, flush, and fsync.
+
+        The fsync is what makes "persisted" mean persisted: without it a
+        host or container crash could lose points the runner already
+        reported as cached for the next run.
+        """
         record = {
             "digest": digest,
             "sweep": sweep_name,
@@ -94,8 +118,12 @@ class ResultStore:
         directory = os.path.dirname(self._path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        repair_tail = self._tail_is_torn()
         with open(self._path, "a", encoding="utf-8") as handle:
+            if repair_tail:
+                handle.write("\n")
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
+            os.fsync(handle.fileno())
         self._records[digest] = record
         return record

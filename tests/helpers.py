@@ -41,3 +41,50 @@ def run_simulation(
     simulation = ServerlessBFTSimulation(config, workload=workload, **runner_kwargs)
     result = simulation.run(duration=duration, warmup=warmup)
     return simulation, result
+
+
+#: ``make_config()``/``make_workload()`` as dotted facade overrides, for
+#: drills that go through scenario presets instead of bespoke fault objects.
+DRILL_OVERRIDES = {
+    "protocol.shim_nodes": 4,
+    "protocol.num_executors": 3,
+    "protocol.num_executor_regions": 3,
+    "protocol.batch_size": 10,
+    "protocol.num_clients": 40,
+    "protocol.client_groups": 4,
+    "protocol.storage_records": 2_000,
+    "workload.num_records": 2_000,
+    "workload.clients": 40,
+    "workload.operations_per_transaction": 4,
+    "workload.write_fraction": 0.5,
+}
+
+
+def run_drill(
+    scenario,
+    duration: float = 2.0,
+    warmup: float = 0.0,
+    overrides: dict = None,
+):
+    """Run a scenario-preset drill through the facade.
+
+    Returns ``(simulation, result)`` like :func:`run_simulation`, but the
+    fault machinery comes from the named scenario preset(s) — the path a
+    sweep point or a composed ``RunSpec`` takes — rather than from bespoke
+    fault objects attached to the constructor.
+    """
+    from repro.api import RunSpec
+    from repro.api.facade import build_deployment, resolve
+
+    spec = RunSpec(
+        system="serverless_bft",
+        base="default",
+        scenarios=[scenario] if isinstance(scenario, str) else list(scenario),
+        overrides={**DRILL_OVERRIDES, **(overrides or {})},
+        duration=duration,
+        warmup=warmup,
+    )
+    resolved = resolve(spec)
+    simulation = build_deployment(resolved)
+    result = simulation.run(duration=duration, warmup=warmup)
+    return simulation, result

@@ -23,10 +23,13 @@ from repro.api import (
     build_deployment,
     compose_scenarios,
     register_system,
+    replicate_specs,
     resolve,
     result_digest,
     route_key,
     run,
+    run_replicates,
+    spec_digest,
     system_names,
 )
 from repro.errors import ConfigurationError
@@ -363,6 +366,81 @@ def test_facade_construction_never_warns():
 
 
 # ------------------------------------------------------------------ CLI
+
+
+# ------------------------------------------------------------------ per-run store + replicates
+
+
+def test_run_with_store_caches_and_resumes(tmp_path):
+    from repro.sweep.store import ResultStore
+
+    store_path = str(tmp_path / "api.jsonl")
+    spec = _spec()
+    first = run(spec, store=store_path)  # a path is accepted directly
+    store = ResultStore(store_path)
+    assert len(store) == 1 and spec_digest(spec) in store
+
+    # Second run: served from the store, bit-identical simulated metrics.
+    second = run(spec, store=store)
+    assert result_digest(second) == result_digest(first)
+
+    # The store only intercepts matching specs; a different spec simulates.
+    other = run(_spec(overrides={**FAST_OVERRIDES, "batch_size": 7}), store=store)
+    assert result_digest(other) != result_digest(first)
+    assert len(ResultStore(store_path)) == 2
+
+
+def test_run_store_shares_addresses_with_sweeps(tmp_path):
+    """An ad-hoc facade run and a sweep point with the same resolved config
+    share one cache entry — same content-address space."""
+    from repro.sweep.store import ResultStore
+
+    store = ResultStore(str(tmp_path / "shared.jsonl"))
+    spec = _spec(seed=11)
+    run(spec, store=store)
+    point = PointSpec(
+        labels={},
+        config={key: value for key, value in FAST_OVERRIDES.items()
+                if not key.startswith("workload.")},
+        workload={"clients": 40},
+        seed=11,
+        duration=0.4,
+        warmup=0.1,
+    )
+    report = run_sweep(SweepSpec(name="shared", points=(point,)), store=store)
+    assert report.cached == 1 and report.simulated == 0
+
+
+def test_run_with_store_rejects_bespoke_fault_objects(tmp_path):
+    from repro.faults.byzantine import CrashBehaviour
+
+    spec = _spec(node_behaviours={"node-3": CrashBehaviour()})
+    with pytest.raises(ConfigurationError, match="scenario preset"):
+        run(spec, store=str(tmp_path / "never.jsonl"))
+    # Without a store the bespoke objects remain fully supported.
+    assert run(spec).committed_txns > 0
+
+
+def test_run_replicates_expands_caches_and_differs_per_seed(tmp_path):
+    from repro.sweep.store import ResultStore
+
+    store = ResultStore(str(tmp_path / "family.jsonl"))
+    spec = _spec(replicates=2)
+    family = run_replicates(spec, store=store)
+    assert len(family) == 2
+    assert result_digest(family[0]) != result_digest(family[1])
+    assert len(store) == 2
+
+    # Re-run: 100% cache hit, same results.
+    again = run_replicates(spec, store=ResultStore(store.path))
+    assert [result_digest(r) for r in again] == [result_digest(r) for r in family]
+
+    # run() refuses a multi-replicate spec instead of silently running one.
+    with pytest.raises(ConfigurationError, match="run_replicates"):
+        run(spec)
+    # Expansion is the single-spec identity for replicates=1.
+    single = _spec()
+    assert replicate_specs(single) == (single,)
 
 
 def test_cli_list_systems(capsys):

@@ -1,10 +1,18 @@
-"""Integration tests for the attacks of Section V/VI and their recovery."""
+"""Integration tests for the attacks of Section V/VI and their recovery.
 
-from tests.helpers import make_config, make_workload, run_simulation
+The node-level drills run through *scenario presets*
+(``request-suppression``, ``fewer-executors``, ``duplicate-spawning``,
+``verify-flooding``, ``delayed-spawning``) — the same registry path sweeps
+and composed ``RunSpec``s take — so these tests also pin down that the
+presets inject exactly the behaviours the bespoke fault objects used to.
+Attacks without a preset (crashing a specific backup, equivocation-style
+setups) keep the direct-constructor path.
+"""
+
+from tests.helpers import make_config, make_workload, run_drill, run_simulation
 from repro.faults.byzantine import (
     CrashBehaviour,
     DelaySpawningBehaviour,
-    DuplicateSpawningBehaviour,
     DuplicateVerifyBehaviour,
     FewerExecutorsBehaviour,
     RequestIgnoranceBehaviour,
@@ -30,12 +38,7 @@ def attack_config(**overrides):
 
 
 def test_request_ignorance_triggers_view_change_and_progress():
-    simulation, result = run_simulation(
-        config=attack_config(),
-        node_behaviours={"node-0": RequestIgnoranceBehaviour(drop_every=1)},
-        duration=5.0,
-        warmup=0.0,
-    )
+    simulation, result = run_drill("request-suppression", duration=5.0)
     # The byzantine primary is eventually replaced and clients make progress.
     assert result.view_changes > 0
     assert result.committed_txns > 0
@@ -45,16 +48,56 @@ def test_request_ignorance_triggers_view_change_and_progress():
 
 
 def test_fewer_executors_attack_detected_by_verifier():
-    simulation, result = run_simulation(
-        config=attack_config(),
-        node_behaviours={"node-0": FewerExecutorsBehaviour(spawn_at_most=1)},
-        duration=5.0,
-        warmup=0.0,
-    )
+    simulation, result = run_drill("fewer-executors", duration=5.0)
     # The verifier cannot gather f_E+1 matching VERIFYs, blames the primary,
     # and the shim installs a new view; afterwards transactions flow again.
     assert result.verifier_replace_sent > 0
     assert result.view_changes > 0
+    assert result.committed_txns > 0
+
+
+def test_drill_scenario_matches_bespoke_fault_objects():
+    """The preset injects exactly what the bespoke spec used to.
+
+    Same seed, same overrides: a run whose faults come from the
+    ``request-suppression`` scenario must be bit-identical (result digest)
+    to one with ``RequestIgnoranceBehaviour`` attached directly — the
+    guarantee that migrating the drills onto the registry changed nothing
+    about the simulated runs.
+    """
+    from repro.api import RunSpec, run
+    from repro.api.facade import result_digest
+    from tests.helpers import DRILL_OVERRIDES
+
+    timers = {
+        "protocol.client_timeout": 0.4,
+        "protocol.node_request_timeout": 0.6,
+        "protocol.retransmission_timeout": 0.4,
+        "protocol.verifier_quorum_timeout": 0.4,
+    }
+    via_scenario = run(RunSpec(
+        base="default",
+        overrides={**DRILL_OVERRIDES, **timers},
+        scenarios=["request-suppression"],
+        duration=2.0,
+        warmup=0.0,
+    ))
+    via_bespoke = run(RunSpec(
+        base="default",
+        overrides={**DRILL_OVERRIDES, **timers},
+        node_behaviours={"node-0": RequestIgnoranceBehaviour(drop_every=1)},
+        duration=2.0,
+        warmup=0.0,
+    ))
+    assert result_digest(via_scenario) == result_digest(via_bespoke)
+
+
+def test_drill_scenarios_compose_with_workload_presets():
+    """Node drills are ordinary presets now: compositions can include them."""
+    _simulation, result = run_drill(
+        ["fewer-executors", "skewed-ycsb"], duration=3.0
+    )
+    assert result.verifier_replace_sent > 0
     assert result.committed_txns > 0
 
 
@@ -102,13 +145,7 @@ def test_silent_executors_tolerated_up_to_f():
 
 
 def test_verify_flooding_is_ignored_by_the_verifier():
-    _simulation, result = run_simulation(
-        duration=2.0,
-        warmup=0.0,
-        executor_behaviour_factory=PerBatchExecutorFaults(
-            count=1, behaviour_factory=lambda: DuplicateVerifyBehaviour(copies=8)
-        ),
-    )
+    _simulation, result = run_drill("verify-flooding", duration=2.0)
     assert result.committed_txns > 0
     assert result.verifier_ignored_verify > 0
 
@@ -117,12 +154,7 @@ def test_verify_flooding_is_ignored_by_the_verifier():
 
 
 def test_duplicate_spawning_costs_the_byzantine_node_money():
-    simulation, result = run_simulation(
-        config=attack_config(),
-        node_behaviours={"node-0": DuplicateSpawningBehaviour(extra_per_batch=2)},
-        duration=2.0,
-        warmup=0.0,
-    )
+    _simulation, result = run_drill("duplicate-spawning", duration=2.0)
     assert result.committed_txns > 0
     # Flooding is self-penalising: the byzantine spawner pays for every extra
     # executor it spawned (Section V-C).
@@ -136,15 +168,14 @@ def test_duplicate_spawning_costs_the_byzantine_node_money():
 
 
 def test_delayed_spawning_with_decentralized_policy_still_executes():
-    from repro.core.config import SpawnPolicyName
-
-    config = attack_config(spawn_policy=SpawnPolicyName.DECENTRALIZED)
-    _simulation, result = run_simulation(
-        config=config,
-        workload=make_workload(conflict_fraction=0.2, rw_sets_known=False),
-        node_behaviours={"node-0": DelaySpawningBehaviour(delay_seconds=10.0, delay_every=1)},
+    _simulation, result = run_drill(
+        "delayed-spawning",
         duration=4.0,
-        warmup=0.0,
+        overrides={
+            "protocol.spawn_policy": "decentralized",
+            "workload.conflict_fraction": 0.2,
+            "workload.rw_sets_known": False,
+        },
     )
     # Even though the primary delays its own spawns indefinitely, the other
     # nodes' executors provide the f_E+1 matching results.

@@ -214,6 +214,61 @@ def test_store_skips_torn_trailing_line(tmp_path):
     assert len(reloaded) == 2
 
 
+def test_store_skips_torn_record_in_the_middle(tmp_path):
+    """A torn record mid-file must not take the valid records after it down."""
+    path = tmp_path / "results.jsonl"
+    sweep = _tiny_sweep("torn-middle")
+    run_sweep(sweep, store=ResultStore(str(path)))
+    lines = open(path, encoding="utf-8").read().splitlines()
+    assert len(lines) == 2
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(lines[0] + "\n")
+        handle.write(lines[1][: len(lines[1]) // 2] + "\n")  # torn in the middle
+        handle.write(lines[1] + "\n")  # valid record after the debris
+    reloaded = ResultStore(str(path))
+    assert len(reloaded) == 2
+    assert run_sweep(sweep, store=reloaded).cached == 2
+
+
+def test_store_append_repairs_a_torn_tail(tmp_path):
+    """Appending after a crash mid-write must not weld onto the debris.
+
+    Without the newline repair, the next record would concatenate onto the
+    torn line and *both* would be unparseable — a crash would silently cost
+    a point that was later reported as persisted.
+    """
+    path = tmp_path / "results.jsonl"
+    sweep = _tiny_sweep("torn-tail")
+    first = run_sweep(SweepSpec(name="torn-tail", points=(sweep.points[0],)))
+    store = ResultStore(str(path))
+    store.put("aaaa", {"labels": {}}, first.outcomes[0].result_dict, "torn-tail")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"digest": "torn-')  # crash mid-append, no newline
+    resumed = ResultStore(str(path))
+    resumed.put("bbbb", {"labels": {}}, first.outcomes[0].result_dict, "torn-tail")
+    reloaded = ResultStore(str(path))
+    assert "aaaa" in reloaded and "bbbb" in reloaded
+
+
+def test_store_put_fsyncs_every_append(tmp_path, monkeypatch):
+    """Durability is fsync, not flush: a reported point must survive a host
+    crash, so every append must reach the disk before ``put`` returns."""
+    import os as os_module
+
+    import repro.sweep.store as store_module
+
+    synced = []
+    real_fsync = os_module.fsync
+    monkeypatch.setattr(
+        store_module.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+    )
+    store = ResultStore(str(tmp_path / "fsync.jsonl"))
+    sweep = _tiny_sweep("fsync")
+    report = run_sweep(sweep, store=store)
+    assert report.simulated == 2
+    assert len(synced) == 2  # one fsync per persisted point
+
+
 def test_parallel_stall_timeout_fails_running_points_promptly():
     import time
 
@@ -236,6 +291,41 @@ def test_parallel_stall_timeout_fails_running_points_promptly():
     # The hung workers are terminated instead of blocking pool shutdown: the
     # call must return long before the 2 s points would have finished.
     assert elapsed < 10.0
+
+
+# ------------------------------------------------------------------ replicates end-to-end
+
+
+def test_replicated_sweep_simulates_distinct_seeds_and_caches(tmp_path):
+    """ISSUE 4 acceptance: replicates=N yields N distinct per-seed digests
+    that are 100% cache hits on re-run."""
+    from repro.sweep import with_replicates
+
+    sweep = with_replicates(_tiny_sweep("replicated"), 2)
+    store = ResultStore(str(tmp_path / "rep.jsonl"))
+    first = run_sweep(sweep, store=store)
+    assert first.simulated == 4 and first.failed == 0  # 2 points x 2 seeds
+    digests = [outcome.digest for outcome in first.outcomes]
+    assert len(set(digests)) == 4
+    # Replicates are genuinely different runs, not copies of one seed.
+    fingerprints = {
+        json.dumps(simulated_fingerprint(outcome.result_dict), sort_keys=True)
+        for outcome in first.outcomes
+    }
+    assert len(fingerprints) == 4
+
+    second = run_sweep(sweep, workers=2, store=ResultStore(store.path))
+    assert second.simulated == 0 and second.cached == 4
+    assert [outcome.digest for outcome in second.outcomes] == digests
+
+
+def test_replicate_expansion_reaches_the_report_table():
+    from repro.sweep import with_replicates
+
+    report = run_sweep(with_replicates(_tiny_sweep("labelled"), 2))
+    table = report.table()
+    assert "replicate" in table.columns
+    assert table.column("replicate") == [0, 1, 0, 1]
 
 
 # ------------------------------------------------------------------ scenarios end-to-end

@@ -7,12 +7,14 @@ from repro.sweep import (
     GridSpec,
     PointSpec,
     SweepSpec,
+    expand_replicates,
     get_scenario,
     point_digest,
     resolve_point,
     scenario_names,
     sweep_from_dict,
     sweep_from_grid,
+    with_replicates,
 )
 from repro.sweep.spec import point_seed
 
@@ -144,6 +146,101 @@ def test_scenario_overrides_sit_under_point_overrides():
     # The point override wins over the scenario's 0.3 default.
     assert resolved["workload"]["conflict_fraction"] == 0.5
     assert resolved["workload"]["rw_sets_known"] is False
+
+
+# ------------------------------------------------------------------ replicates
+
+
+def test_replicates_one_leaves_sweep_untouched():
+    sweep, point = _sweep()
+    assert point.replicates == 1
+    # Same object back: resolution and digests are bit-identical to a world
+    # where the replicates field does not exist.
+    assert expand_replicates(sweep) is sweep
+
+
+def test_replicates_expand_to_distinct_stable_digests():
+    point = PointSpec(
+        labels={"batch_size": 5},
+        config={"batch_size": 5},
+        duration=0.5,
+        warmup=0.1,
+        replicates=3,
+    )
+    sweep = SweepSpec(name="rep", points=(point,))
+    expanded = expand_replicates(sweep)
+    assert len(expanded) == 3
+    assert [p.labels["replicate"] for p in expanded.points] == [0, 1, 2]
+    assert all(p.replicates == 1 for p in expanded.points)
+    digests = [point_digest(resolve_point(expanded, p)) for p in expanded.points]
+    assert len(set(digests)) == 3  # N distinct per-seed content addresses
+    # Expansion is deterministic: a second expansion shares every address.
+    again = expand_replicates(sweep)
+    assert [point_digest(resolve_point(again, p)) for p in again.points] == digests
+
+
+def test_replicate_seeds_derive_from_the_point_seed_chain():
+    from repro.sim.rng import derive_seed
+
+    sweep, point = _sweep()
+    replicated = with_replicates(sweep, 2)
+    expanded = expand_replicates(replicated)
+    base = point_seed(sweep, point)
+    assert [p.seed for p in expanded.points] == [
+        derive_seed(base, "replicate", 0),
+        derive_seed(base, "replicate", 1),
+    ]
+
+
+def test_replicates_validation():
+    with pytest.raises(ConfigurationError):
+        PointSpec(replicates=0)
+    with pytest.raises(ConfigurationError):
+        with_replicates(SweepSpec(name="s", points=(PointSpec(),)), 0)
+
+
+def test_replicates_route_as_a_run_field():
+    sweep = sweep_from_grid(
+        name="rep-axis",
+        grid=GridSpec({"batch_size": (5,), "replicates": (2,)}),
+        duration=0.5,
+        warmup=0.1,
+    )
+    assert sweep.points[0].replicates == 2
+    assert len(expand_replicates(sweep)) == 2
+
+
+# ------------------------------------------------------------------ seed-label hygiene
+
+
+def test_derive_seed_slash_collision_is_documented():
+    """Regression: derive_seed joins labels with '/' and no escaping.
+
+    ``("a/b",)`` and ``("a", "b")`` therefore collide — this is why spec
+    validation rejects ``/`` in the components that reach seed derivation
+    (changing the derivation itself would invalidate every
+    content-addressed store, so the guard is the fix).
+    """
+    from repro.sim.rng import derive_seed
+
+    assert derive_seed(1, "a/b") == derive_seed(1, "a", "b")
+    assert derive_seed(1, "a/b", "c") == derive_seed(1, "a", "b/c")
+
+
+def test_scenario_names_with_slash_are_rejected():
+    from repro.api.spec import normalize_scenarios
+    from repro.sweep.scenarios import Scenario, register_scenario
+
+    with pytest.raises(ConfigurationError, match="must not contain '/'"):
+        register_scenario(Scenario(name="outage/us-east", description="bad"))
+    with pytest.raises(ConfigurationError, match="must not contain '/'"):
+        normalize_scenarios("a/b")
+    with pytest.raises(ConfigurationError, match="must not contain '/'"):
+        PointSpec(scenario=["baseline", "x/y"])
+    with pytest.raises(ConfigurationError, match="must not contain '/'"):
+        from repro.api import RunSpec
+
+        RunSpec(scenarios=["x/y"])
 
 
 # ------------------------------------------------------------------ scenarios
