@@ -183,7 +183,12 @@ def run(spec: RunSpec, store=None) -> SimulationResult:
     return result
 
 
-def run_replicates(spec: RunSpec, store=None) -> List[SimulationResult]:
+def run_replicates(
+    spec: RunSpec,
+    store=None,
+    workers: int = 0,
+    timeout: Optional[float] = None,
+) -> List[SimulationResult]:
     """Run every replicate of a spec, in replicate order.
 
     Expands the spec through :func:`repro.api.spec.replicate_specs` (one
@@ -191,6 +196,21 @@ def run_replicates(spec: RunSpec, store=None) -> List[SimulationResult]:
     a ``store`` every replicate is cached and resumed individually — an
     interrupted family picks up where it stopped, and a re-run is a 100%
     cache hit.  ``replicates=1`` is exactly one ordinary :func:`run`.
+
+    ``workers > 1`` fans the uncached replicates out over the *shared warm
+    worker pool* (``repro.sweep.pool``): repeated calls in one process —
+    and interleaved ``run_sweep`` calls with the same worker count — reuse
+    one pool instead of paying interpreter + import start-up per
+    invocation.  Results are bit-identical to the serial path (workers
+    rebuild the deployment from the fully resolved spec).  ``timeout`` is
+    a stall budget like ``run_sweep``'s: if no replicate completes within
+    it, the pool's workers are killed, the pool is discarded, and a
+    ``TimeoutError`` is raised (finished replicates are already persisted
+    to the store).  Specs carrying bespoke fault objects — or
+    ``tracer_enabled`` — are rejected on this path: fault objects are
+    neither addressable nor shipped to workers (register a scenario preset
+    instead), and workers build untraced deployments, so honouring the
+    tracer flag silently would diverge from the serial path.
     """
     if isinstance(store, str):
         # Load the JSONL file once for the whole family, not once per
@@ -198,7 +218,94 @@ def run_replicates(spec: RunSpec, store=None) -> List[SimulationResult]:
         from repro.sweep.store import ResultStore
 
         store = ResultStore(store)
-    return [run(replicate, store=store) for replicate in replicate_specs(spec)]
+    specs = replicate_specs(spec)
+    if workers <= 1 or len(specs) <= 1:
+        return [run(replicate, store=store) for replicate in specs]
+
+    if spec.direct_runner_kwargs():
+        raise ConfigurationError(
+            "run_replicates(workers>1) cannot ship bespoke fault objects to "
+            "pool workers; register the faults as a scenario preset and name "
+            "it in RunSpec.scenarios instead"
+        )
+    if spec.tracer_enabled:
+        raise ConfigurationError(
+            "run_replicates(workers>1) builds untraced deployments in pool "
+            "workers; run with workers=0 to keep tracer_enabled=True"
+        )
+    from concurrent.futures import wait
+    from repro.api.registry import custom_systems
+    from repro.sweep.pool import get_shared_pool
+    from repro.sweep.runner import _simulate_point_task
+    from repro.sweep.scenarios import custom_scenarios
+    from repro.sweep.serialization import result_from_dict
+    from repro.sweep.spec import point_digest
+
+    resolved_list = [resolve(replicate) for replicate in specs]
+    digests = [point_digest(resolved) for resolved in resolved_list]
+    results: List[Optional[SimulationResult]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, digest in enumerate(digests):
+        record = store.get(digest) if store is not None else None
+        if record is not None:
+            results[index] = result_from_dict(record["result"])
+        else:
+            pending.append(index)
+
+    if pending:
+        from concurrent.futures import FIRST_COMPLETED
+
+        from repro.sweep.pool import discard_shared_pool
+
+        pool = get_shared_pool(workers)
+        task_scenarios = custom_scenarios()
+        task_systems = custom_systems()
+        future_map = {
+            pool.submit(
+                _simulate_point_task,
+                resolved_list[index],
+                task_scenarios,
+                task_systems,
+            ): index
+            for index in pending
+        }
+        # Harvest in completion order so finished replicates persist even if
+        # a later one fails; any worker error surfaces after the store is
+        # up to date.  ``timeout`` is a stall budget: no completion within
+        # it kills the pool's workers and raises.
+        error: Optional[BaseException] = None
+        remaining = set(future_map)
+        while remaining:
+            completed, remaining = wait(
+                remaining, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not completed:
+                stalled = sorted(future_map[future] for future in remaining)
+                discard_shared_pool(terminate=True)
+                raise TimeoutError(
+                    f"no replicate completed within {timeout:g}s; killed the "
+                    f"pool (replicates {stalled} unfinished, completed ones "
+                    f"are persisted)"
+                )
+            for future in completed:
+                index = future_map[future]
+                try:
+                    result_dict, timing = future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    error = error or exc
+                    continue
+                if store is not None:
+                    store.put(
+                        digests[index],
+                        resolved_list[index],
+                        result_dict,
+                        sweep_name="api-run",
+                        timing=timing,
+                    )
+                results[index] = result_from_dict(result_dict)
+        if error is not None:
+            raise error
+    return results  # type: ignore[return-value]
 
 
 def build_system(

@@ -165,7 +165,8 @@ class ServerlessCloud:
                 latency = self._warm_start
             else:
                 latency = self._cold_start + self._rng.uniform(0.0, self._cold_start * 0.2)
-            self._sim.schedule(latency, self._start_executor, handle, request)
+            # Launches are never cancelled: fire-and-forget fast path.
+            self._sim.schedule_fast(latency, self._start_executor, handle, request)
 
         if state.running < state.concurrency_limit:
             state.running += 1

@@ -102,14 +102,15 @@ class RegionCatalog:
     def one_way_latency(self, src: str, dst: str) -> float:
         """Median one-way latency (seconds) between two regions."""
         key = (src, dst)
-        if key not in self._latency_cache:
+        latency = self._latency_cache.get(key)
+        if latency is None:
             if src == dst:
                 latency = 0.0005
             else:
                 distance = great_circle_km(self.get(src), self.get(dst))
                 latency = 0.002 + (distance * _ROUTE_INDIRECTION) / _FIBRE_KM_PER_SEC
             self._latency_cache[key] = latency
-        return self._latency_cache[key]
+        return latency
 
     def nearest(self, origin: str, candidates: Sequence[str]) -> List[str]:
         """Candidates sorted by latency from ``origin`` (closest first)."""
@@ -143,7 +144,10 @@ class GeoLatencyModel(LatencyModel):
         base = self._catalog.one_way_latency(src_region, dst_region)
         delay = base
         if self._jitter_fraction > 0:
-            delay += rng.uniform(0.0, base * self._jitter_fraction)
+            # Bit-exact inline of rng.uniform(0.0, bound): uniform computes
+            # ``0.0 + (bound - 0.0) * random()`` == ``bound * random()``,
+            # one stdlib frame cheaper per message send.
+            delay += (base * self._jitter_fraction) * rng.random()
         if self._bandwidth > 0 and size_bytes > 0:
             delay += size_bytes / self._bandwidth
         return delay

@@ -129,7 +129,7 @@ class PaxosReplica:
         message = PaxosAcceptMsg(ballot=self._ballot, seq=seq, digest=batch_digest, batch=batch)
         # No signatures: only the batch hash plus cheap per-target MACs.
         cost = self._costs.hash_cost(PAXOS_ACCEPT_BYTES) + self._costs.mac_sign * (self._n - 1)
-        self._host.process(cost, lambda: self._transport.broadcast(message, PAXOS_ACCEPT_BYTES))
+        self._host.process(cost, self._transport.broadcast, message, PAXOS_ACCEPT_BYTES)
         self._record_accepted(
             PaxosAcceptedMsg(ballot=self._ballot, seq=seq, digest=batch_digest, replica=self._id),
             self._id,
@@ -168,7 +168,7 @@ class PaxosReplica:
     def on_accepted(self, message: PaxosAcceptedMsg, sender: str) -> None:
         if not self.is_leader or message.ballot != self._ballot:
             return
-        self._host.process(self._costs.mac_verify, lambda: self._record_accepted(message, sender))
+        self._host.process(self._costs.mac_verify, self._record_accepted, message, sender)
 
     def _record_accepted(self, message: PaxosAcceptedMsg, sender: str) -> None:
         key = (message.ballot, message.seq, message.digest)

@@ -130,13 +130,11 @@ class ClientGroup(SimProcess):
         if self._stop_time is not None and self.now >= self._stop_time:
             return
         request_id = f"{self.name}-req-{next(self._request_counter)}"
-        transactions = tuple(
-            self._workload.next_transaction(
-                client_index=self._client_index_offset + slot,
-                origin=self.name,
-                request_id=request_id,
-            )
-            for slot in range(self._group_size)
+        transactions = self._workload.next_transactions(
+            self._group_size,
+            client_index_offset=self._client_index_offset,
+            origin=self.name,
+            request_id=request_id,
         )
         unsigned = ClientRequestMsg(
             request_id=request_id, origin=self.name, transactions=transactions
@@ -167,15 +165,21 @@ class ClientGroup(SimProcess):
         entry = self._outstanding.get(request_id)
         if entry is None:
             return
-        for txn_id in committed_ids:
-            if txn_id in entry.remaining:
-                entry.remaining.discard(txn_id)
-                entry.committed += 1
-        for txn_id in aborted_ids:
-            if txn_id in entry.remaining:
-                entry.remaining.discard(txn_id)
-                entry.aborted += 1
-        if entry.remaining:
+        # Set arithmetic instead of a per-id loop: only ids still awaited
+        # count (duplicate RESPONSEs for already-settled transactions are
+        # ignored, as before).
+        remaining = entry.remaining
+        if committed_ids:
+            hits = remaining.intersection(committed_ids)
+            if hits:
+                remaining -= hits
+                entry.committed += len(hits)
+        if aborted_ids:
+            hits = remaining.intersection(aborted_ids)
+            if hits:
+                remaining -= hits
+                entry.aborted += len(hits)
+        if remaining:
             return
         # The whole request is answered: record latency and issue the next one.
         entry.timer.cancel()

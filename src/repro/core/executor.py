@@ -84,9 +84,11 @@ class Executor(SimProcess):
             self._trace("executor.ignored", seq=execute.seq)
             self._finish()
             return
-        # Verify the commit certificate before doing any work.
+        # Verify the commit certificate before doing any work.  An executor's
+        # pipeline timers are never cancelled, so they all take the kernel's
+        # fire-and-forget fast path (no Event handle per stage).
         verify_cost = execute.certificate.verification_cost(self._costs, self._required_signers)
-        self.set_timer(verify_cost, self._after_certificate_check, execute)
+        self.set_timer_fast(verify_cost, self._after_certificate_check, execute)
 
     def _after_certificate_check(self, execute: ExecuteMsg) -> None:
         if self._required_signers > 0 and not execute.certificate.verify(
@@ -130,7 +132,7 @@ class Executor(SimProcess):
         batch = execute.batch
         compute_time = batch.execution_seconds
         compute_time += self._per_operation_cost * batch.operation_count
-        self.set_timer(
+        self.set_timer_fast(
             max(0.0, compute_time),
             self._finish_execution,
             execute,
@@ -167,7 +169,7 @@ class Executor(SimProcess):
         seed_cached_digest(message, signature.message_digest)
         copies = 1 if self._behaviour is None else self._behaviour.verify_copies()
         sign_cost = self._costs.ds_sign
-        self.set_timer(sign_cost, self._send_verify, message, copies)
+        self.set_timer_fast(sign_cost, self._send_verify, message, copies)
 
     def _send_verify(self, message: VerifyMsg, copies: int) -> None:
         for _ in range(max(1, copies)):

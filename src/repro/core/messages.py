@@ -42,7 +42,7 @@ class ClientRequestMsg:
 
     def canonical(self) -> str:
         return f"request:{self.request_id}:{self.origin}:" + "|".join(
-            txn.canonical() for txn in self.transactions
+            [txn.canonical() for txn in self.transactions]
         )
 
     def unsigned(self) -> "ClientRequestMsg":

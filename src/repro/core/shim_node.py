@@ -238,8 +238,7 @@ class ShimNode(SimProcess):
         )
 
     def _enqueue_transactions(self, request: ClientRequestMsg) -> None:
-        for txn in request.transactions:
-            self._pending_txns.append(txn)
+        self._pending_txns.extend(request.transactions)
         self._maybe_propose()
 
     def _maybe_propose(self) -> None:
@@ -257,7 +256,12 @@ class ShimNode(SimProcess):
         self._propose_batch(len(self._pending_txns))
 
     def _propose_batch(self, size: int) -> None:
-        transactions = tuple(self._pending_txns.popleft() for _ in range(size))
+        pending = self._pending_txns
+        if size == len(pending):
+            transactions = tuple(pending)
+            pending.clear()
+        else:
+            transactions = tuple(pending.popleft() for _ in range(size))
         self._batch_counter += 1
         batch = TransactionBatch(
             batch_id=f"{self.name}-b{self._batch_counter}", transactions=transactions
@@ -330,7 +334,7 @@ class ShimNode(SimProcess):
         )
         seed_cached_digest(execute, signature.message_digest)
         spawn_cost = self._config.spawn_api_cost * len(regions) + self._costs.ds_sign
-        self.process(spawn_cost, lambda: self._invoke_cloud(execute, regions, delay))
+        self.process(spawn_cost, self._invoke_cloud, execute, regions, delay)
 
     def _invoke_cloud(self, execute: ExecuteMsg, regions: List[str], delay: float) -> None:
         if delay > 0:

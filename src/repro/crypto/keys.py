@@ -35,10 +35,15 @@ class KeyPair:
 
 
 def generate_keypair(owner: str, deployment_secret: str) -> KeyPair:
-    """Deterministically generate the key pair of ``owner``."""
-    private = hmac.new(
-        deployment_secret.encode("utf-8"), f"priv:{owner}".encode("utf-8"), hashlib.sha256
-    ).hexdigest()
+    """Deterministically generate the key pair of ``owner``.
+
+    Uses the one-shot C ``hmac.digest`` (same bytes as ``hmac.new(...)``):
+    every spawned executor derives a fresh key pair, so this is on the
+    spawn path.
+    """
+    private = hmac.digest(
+        deployment_secret.encode("utf-8"), f"priv:{owner}".encode("utf-8"), "sha256"
+    ).hex()
     public = hashlib.sha256(f"pub:{private}".encode("utf-8")).hexdigest()
     return KeyPair(owner=owner, public_key=public, private_key=private)
 
@@ -80,11 +85,11 @@ class KeyStore:
     def mac_secret(self, party_a: str, party_b: str) -> str:
         """Shared pairwise MAC secret (models the Diffie–Hellman exchange)."""
         first, second = sorted((party_a, party_b))
-        return hmac.new(
+        return hmac.digest(
             self._deployment_secret.encode("utf-8"),
             f"mac:{first}:{second}".encode("utf-8"),
-            hashlib.sha256,
-        ).hexdigest()
+            "sha256",
+        ).hex()
 
     def identities(self) -> Dict[str, str]:
         """Mapping of owner → public key for every registered identity."""

@@ -27,7 +27,6 @@ verify it.
 
 from __future__ import annotations
 
-import hashlib
 import hmac
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -56,9 +55,12 @@ class RealCryptoBackend(CryptoBackend):
     name = "real"
 
     def signature_value(self, private_key: str, message_digest: str) -> str:
-        return hmac.new(
-            private_key.encode("utf-8"), message_digest.encode("utf-8"), hashlib.sha256
-        ).hexdigest()
+        # One-shot C implementation (hmac.digest) — same MAC bytes as
+        # hmac.new(...).hexdigest(), several Python frames cheaper, and this
+        # runs once per sign/verify on the hot path.
+        return hmac.digest(
+            private_key.encode("utf-8"), message_digest.encode("utf-8"), "sha256"
+        ).hex()
 
 
 class FastCryptoBackend(CryptoBackend):
@@ -206,7 +208,7 @@ class MacAuthenticator:
         secret = self._keystore.mac_secret(self._owner, peer)
         if isinstance(self._backend, FastCryptoBackend):
             return self._backend.signature_value(secret, cached_digest(payload))
-        return hmac.new(secret.encode("utf-8"), canonical_bytes(payload), hashlib.sha256).hexdigest()
+        return hmac.digest(secret.encode("utf-8"), canonical_bytes(payload), "sha256").hex()
 
     def verify(self, payload: Any, peer: str, tag: Optional[str]) -> bool:
         """Check a MAC received from ``peer``."""

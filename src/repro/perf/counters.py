@@ -25,10 +25,22 @@ class PerfCounters:
     batch_execution_cache_hits: int = 0
     #: Events pushed through ``Simulator.schedule_fast`` (no Event wrapper).
     events_scheduled_fast: int = 0
+    #: Events dispatched straight from the kernel's deferred slot — each one
+    #: a coalesced back-to-back event whose heappush/heappop pair was elided.
+    events_coalesced: int = 0
+    #: Slot occupants demoted to the heap by an earlier arrival (the
+    #: coalescing fast lane's bookkeeping overhead).
+    events_displaced: int = 0
     #: Cancelled events removed by batched heap compaction.
     events_compacted: int = 0
+    #: CPU jobs that queued behind busy cores and completed through the
+    #: resource's intrusive FIFO (back-to-back completions).
+    cpu_jobs_coalesced: int = 0
     #: Commit-certificate verifications answered from the per-instance memo.
     certificate_cache_hits: int = 0
+    #: VERIFY-message signature checks answered from the per-instance memo
+    #: (duplicate deliveries and verify-flooding re-sends).
+    verify_signature_cache_hits: int = 0
 
     def reset(self) -> None:
         """Zero every counter (e.g. between benchmark iterations)."""

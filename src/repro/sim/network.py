@@ -122,9 +122,14 @@ class Network:
         fault_plan: Optional[NetworkFaultPlan] = None,
     ) -> None:
         self._sim = sim
+        self._schedule_fast = sim.schedule_fast
         self._latency = latency_model
         self._rng = rng
         self._faults = fault_plan or NetworkFaultPlan()
+        # Subclasses (e.g. the region-outage plan) may decide partitioning
+        # dynamically: the base-class empty-set short-circuit in send() only
+        # applies to a plain NetworkFaultPlan.
+        self._faults_subclassed = type(self._faults) is not NetworkFaultPlan
         self._endpoints: Dict[str, Endpoint] = {}
         self._messages_sent = 0
         self._messages_delivered = 0
@@ -182,19 +187,27 @@ class Network:
             # The destination crashed or was never registered: the message is lost.
             self._messages_dropped += 1
             return
+        # Fault checks are gated on the plan actually being active: the
+        # gates draw nothing (``chance(0)`` never draws either), so the RNG
+        # stream — and every simulated result — is unchanged.
         faults = self._faults
-        if faults.is_partitioned(src, dst) or self._rng.chance(faults.drop_probability):
+        if (
+            self._faults_subclassed or faults.partitions or faults.muted_endpoints
+        ) and faults.is_partitioned(src, dst):
+            self._messages_dropped += 1
+            return
+        if faults.drop_probability and self._rng.chance(faults.drop_probability):
             self._messages_dropped += 1
             return
         delay = self._latency.one_way_delay(sender.region, receiver.region, size_bytes, self._rng)
         delay += faults.extra_delay
-        self._sim.schedule_fast(delay, self._deliver, src, dst, payload)
-        if self._rng.chance(faults.duplicate_probability):
+        self._schedule_fast(delay, self._deliver, src, dst, payload)
+        if faults.duplicate_probability and self._rng.chance(faults.duplicate_probability):
             # The duplicate travels the wire too: schedule it strictly after
             # the original delivery and account for its bytes.
             duplicate_delay = max(delay * 1.5, delay + self.MIN_DUPLICATE_OFFSET)
             self._bytes_sent += size_bytes
-            self._sim.schedule_fast(duplicate_delay, self._deliver, src, dst, payload)
+            self._schedule_fast(duplicate_delay, self._deliver, src, dst, payload)
 
     def broadcast(self, src: str, dsts, payload: Any, size_bytes: int = 0) -> None:
         """Send the same payload to every destination in ``dsts``."""

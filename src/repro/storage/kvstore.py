@@ -9,14 +9,20 @@ keys and only applies the writes if the versions still match (the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro.errors import StorageError
 
 
-@dataclass(frozen=True)
-class VersionedValue:
-    """A value together with the version at which it was last written."""
+class VersionedValue(NamedTuple):
+    """A value together with the version at which it was last written.
+
+    A NamedTuple rather than a frozen dataclass: the store allocates one per
+    committed write on the verifier's hot path, and tuple construction runs
+    entirely in C (no per-instance ``__dict__``).  Field access, equality,
+    and ``VersionedValue(value=..., version=...)`` construction are
+    unchanged for callers.
+    """
 
     value: str
     version: int
@@ -96,8 +102,17 @@ class VersionedKVStore:
         # once it exceeds _READ_CACHE_LIMIT distinct key sets (long runs
         # would otherwise retain one dead ReadResult per committed batch).
         self._read_cache: Dict[Tuple[str, ...], ReadResult] = {}
+        # Keys changed by each mutation, ``self._mutation_log[i]`` holding
+        # the keys of mutation ``self._mutation_log_base + i + 1`` (None =
+        # "many/unknown", e.g. a bulk load).  Lets snapshot consumers prove
+        # "nothing I read changed since token T" with one C disjointness
+        # check instead of re-reading every key; trimmed so only the recent
+        # window is answerable (older tokens report "unknown").
+        self._mutation_log: List[Optional[List[str]]] = []
+        self._mutation_log_base = 0
 
     _READ_CACHE_LIMIT = 1024
+    _MUTATION_LOG_LIMIT = 128
 
     def __len__(self) -> int:
         return len(self._data)
@@ -123,7 +138,7 @@ class VersionedKVStore:
         for index in range(num_records):
             self._data[f"{key_prefix}{index}"] = initial
         if num_records:
-            self._mutations += 1
+            self._note_mutation(None)
 
     def contains(self, key: str) -> bool:
         return key in self._data
@@ -143,14 +158,21 @@ class VersionedKVStore:
             if cached.snapshot_token == token:
                 return cached
             # The store changed since the cached read, but maybe not under
-            # *these* keys (commits touch disjoint key partitions most of the
-            # time).  Versions determine values, so an int-tuple comparison
-            # is enough to prove the cached result is still exact — and
-            # returning the cached object (old token included) keeps every
+            # *these* keys (commits touch disjoint key partitions most of
+            # the time).  The mutation log usually proves disjointness with
+            # one C set check per commit since the snapshot; only an
+            # out-of-window token falls back to the per-key comparison.
+            # Returning the cached object (old token included) keeps every
             # memo keyed on it valid.
-            versions = tuple(get(key, _MISSING).version for key in keys)
-            if versions == cached.versions_tuple():
+            state = self.keys_changed_since(cached.snapshot_token, cached.values.keys())
+            if state == 0:
                 return cached
+            if state < 0:
+                # Versions determine values, so an int-tuple comparison is
+                # enough to prove the cached result is still exact.
+                versions = tuple(get(key, _MISSING).version for key in keys)
+                if versions == cached.versions_tuple():
+                    return cached
         result = ReadResult(
             values={key: get(key, _MISSING) for key in keys}, snapshot_token=token
         )
@@ -162,6 +184,45 @@ class VersionedKVStore:
     def current_versions(self, keys: Iterable[str]) -> Dict[str, int]:
         get = self._data.get
         return {key: get(key, _MISSING).version for key in keys}
+
+    def version_of(self, key: str) -> int:
+        """Current version of one key (0 if never written; no read counted).
+
+        The verifier's incremental validation seeds its live version map
+        through this instead of snapshotting whole key sets per batch.
+        """
+        return self._data.get(key, _MISSING).version
+
+    def _note_mutation(self, changed: Optional[List[str]]) -> None:
+        self._mutations += 1
+        log = self._mutation_log
+        log.append(changed)
+        if len(log) > self._MUTATION_LOG_LIMIT:
+            half = self._MUTATION_LOG_LIMIT // 2
+            del log[:half]
+            self._mutation_log_base += half
+
+    def keys_changed_since(self, token: int, keys) -> int:
+        """Did any of ``keys`` change after snapshot ``token``?
+
+        Returns 0 (provably unchanged), 1 (provably changed: some key's
+        version was bumped — versions are monotone under writes, so any
+        snapshot of these keys taken at ``token`` is stale), or -1 (unknown:
+        the token predates the retained log window or a bulk load happened).
+        ``keys`` must support ``isdisjoint`` (set, frozenset, or dict view).
+        """
+        if token < 0:
+            return -1
+        base = self._mutation_log_base
+        if token < base:
+            return -1
+        changed = False
+        for entry in self._mutation_log[token - base :]:
+            if entry is None:
+                return -1
+            if not changed and not keys.isdisjoint(entry):
+                changed = True
+        return 1 if changed else 0
 
     def apply_writes(self, writes: Mapping[str, str]) -> Dict[str, int]:
         """Apply a write set atomically, bumping each key's version.
@@ -177,7 +238,7 @@ class VersionedKVStore:
             new_versions[key] = updated.version
         if new_versions:
             self._writes += len(new_versions)
-            self._mutations += 1
+            self._note_mutation(list(new_versions))
         return new_versions
 
     def apply_write_sets(self, write_sets: Iterable[Mapping[str, str]]) -> None:
@@ -189,22 +250,18 @@ class VersionedKVStore:
         """
         data = self._data
         get = data.get
-        new = VersionedValue.__new__
-        writes_applied = 0
+        new = tuple.__new__
+        changed: List[str] = []
+        append_changed = changed.append
         for writes in write_sets:
             for key, value in writes.items():
-                current = get(key, _MISSING)
-                # Fast frozen-dataclass construction: this is the verifier's
-                # write loop, one VersionedValue per committed write.
-                entry = new(VersionedValue)
-                entry_dict = entry.__dict__
-                entry_dict["value"] = value
-                entry_dict["version"] = current.version + 1
-                data[key] = entry
-            writes_applied += len(writes)
-        if writes_applied:
-            self._writes += writes_applied
-            self._mutations += 1
+                # One C-level tuple construction per committed write (this
+                # is the verifier's write loop).
+                data[key] = new(VersionedValue, (value, get(key, _MISSING).version + 1))
+                append_changed(key)
+        if changed:
+            self._writes += len(changed)
+            self._note_mutation(changed)
 
     def get_value(self, key: str) -> Optional[str]:
         entry = self._data.get(key)

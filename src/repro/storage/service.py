@@ -68,8 +68,9 @@ class StorageService(SimProcess):
     def on_message(self, message, sender: str) -> None:
         if isinstance(message, StorageReadRequest):
             self._requests_served += 1
-            # The read itself is cheap; model it as a small fixed service delay.
-            self.set_timer(self._read_service_time, self._reply, message, sender)
+            # The read itself is cheap; model it as a small fixed service
+            # delay.  Replies are never cancelled: fire-and-forget fast path.
+            self.set_timer_fast(self._read_service_time, self._reply, message, sender)
 
     def _reply(self, request: StorageReadRequest, sender: str) -> None:
         result = self._store.read_many(request.keys)

@@ -20,7 +20,7 @@ simulated batch_size=25 ... (1.9s)`` lines).
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,6 +32,7 @@ from repro.api.facade import (
 from repro.api.registry import custom_systems as _custom_systems
 from repro.bench.harness import ExperimentTable
 from repro.core.runner import SimulationResult
+from repro.sweep.pool import discard_shared_pool, get_shared_pool
 from repro.sweep.scenarios import custom_scenarios
 from repro.sweep.serialization import result_from_dict, result_to_dict
 from repro.sweep.spec import (
@@ -47,13 +48,15 @@ ProgressCallback = Callable[["PointOutcome", int, int], None]
 
 
 def _register_worker_state(scenarios, systems) -> None:
-    """Process-pool initializer: make runtime registrations visible.
+    """Make runtime registrations visible inside a worker process.
 
     Fork-start workers inherit the parent's registries; spawn-start workers
     (macOS/Windows defaults) re-import the registry modules fresh and would
     only know the built-in scenario presets and systems.  Both scenario
     objects and system adapters must be picklable (module-level factories
-    and builder functions are).
+    and builder functions are).  Called per task rather than per pool spawn
+    so a long-lived warm pool also serves scenarios/systems registered
+    *after* it was created; re-registration is a few idempotent dict writes.
     """
     from repro.api.registry import register_system
     from repro.sweep.scenarios import register_scenario
@@ -84,12 +87,43 @@ def simulate_resolved_point(resolved: Mapping[str, object]) -> Dict[str, object]
     serial path calls the exact same function, which is what makes parallel
     runs bit-identical to serial ones.
     """
+    return _timed_simulate(resolved)[0]
+
+
+def _timed_simulate(
+    resolved: Mapping[str, object],
+) -> Tuple[Dict[str, object], Dict[str, float]]:
+    """Simulate one resolved point, separating setup from simulation time.
+
+    The timing dict records where the host seconds went: ``setup_seconds``
+    (deployment construction), ``simulate_seconds`` (the event loop), and
+    ``collect_seconds`` (metric collection + serialisation).  Stored next to
+    each result so warm-pool amortisation is measurable from the store.
+    """
+    started = time.perf_counter()
     simulation = build_simulation(resolved)
+    setup_seconds = time.perf_counter() - started
     result = simulation.run(
         duration=float(resolved["duration"]),  # type: ignore[arg-type]
         warmup=float(resolved["warmup"]),  # type: ignore[arg-type]
     )
-    return result_to_dict(result)
+    result_dict = result_to_dict(result)
+    total = time.perf_counter() - started
+    simulate_seconds = result.wall_clock_seconds
+    timing = {
+        "setup_seconds": setup_seconds,
+        "simulate_seconds": simulate_seconds,
+        "collect_seconds": max(0.0, total - setup_seconds - simulate_seconds),
+    }
+    return result_dict, timing
+
+
+def _simulate_point_task(
+    resolved: Mapping[str, object], scenarios, systems
+) -> Tuple[Dict[str, object], Dict[str, float]]:
+    """Warm-pool task: re-register runtime state, then simulate with timing."""
+    _register_worker_state(scenarios, systems)
+    return _timed_simulate(resolved)
 
 
 # ------------------------------------------------------------------ outcomes
@@ -106,6 +140,9 @@ class PointOutcome:
     cached: bool = False
     error: Optional[str] = None
     wall_clock_seconds: float = 0.0
+    #: Host-side cost split of a simulated point (setup_seconds /
+    #: simulate_seconds / collect_seconds); None for cached/failed points.
+    timing: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -299,7 +336,11 @@ def run_sweep(
         nonlocal done
         if outcome.ok and store is not None:
             store.put(
-                outcome.digest, outcome.resolved, outcome.result_dict, sweep.name
+                outcome.digest,
+                outcome.resolved,
+                outcome.result_dict,
+                sweep.name,
+                timing=outcome.timing,
             )
         done += 1
         if progress is not None:
@@ -317,7 +358,7 @@ def run_sweep(
 
     def harvest(future, outcome: PointOutcome) -> None:
         try:
-            outcome.result_dict = future.result()
+            outcome.result_dict, outcome.timing = future.result()
         except Exception as exc:  # worker died or raised
             outcome.error = f"{type(exc).__name__}: {exc}"
         if outcome.ok:
@@ -328,59 +369,56 @@ def run_sweep(
 
     if workers > 1 and executable:
         timed_out = False
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            # Spawn-start platforms (macOS/Windows) re-import the registry
-            # modules in each worker and would miss scenarios/systems
-            # registered at runtime; re-register them explicitly.
-            initializer=_register_worker_state,
-            initargs=(custom_scenarios(), _custom_systems()),
-        ) as pool:
-            future_map = {
-                pool.submit(simulate_resolved_point, outcome.resolved): outcome
-                for outcome in executable
-            }
-            # Harvest in *completion* order so each finished point hits the
-            # store immediately — an interrupted sweep keeps everything that
-            # actually completed.  ``timeout`` is a stall budget: if no point
-            # finishes within it, everything still running is declared failed.
-            remaining = set(future_map)
-            while remaining:
-                completed, remaining = wait(
-                    remaining, timeout=timeout, return_when=FIRST_COMPLETED
-                )
-                if not completed:
-                    timed_out = True
-                    for future in remaining:
-                        future.cancel()
-                        outcome = future_map[future]
-                        if future.done() and not future.cancelled():
-                            # Completed in the race window between wait()
-                            # returning empty and this loop: keep the result.
-                            harvest(future, outcome)
-                            continue
-                        outcome.error = f"no result within {timeout:g}s"
-                        outcome.wall_clock_seconds = float(timeout or 0.0)
-                        finish(outcome)
-                    remaining = set()
-                    break
-                for future in completed:
-                    harvest(future, future_map[future])
-            if timed_out:
-                # A timed-out worker is still executing its point and a plain
-                # shutdown would block on it indefinitely; kill the pool
-                # (every live worker belongs to a timed-out point by now).
-                # The process handles must be captured before shutdown, which
-                # drops the pool's reference to them.
-                processes = list((getattr(pool, "_processes", None) or {}).values())
-                pool.shutdown(wait=False, cancel_futures=True)
-                for process in processes:
-                    process.terminate()
+        # Warm worker pool: reused across run_sweep / run_replicates calls
+        # in this process, so interpreter + import start-up is paid once.
+        # Runtime-registered scenarios/systems ship with each task (a warm
+        # pool may predate the registration).
+        pool = get_shared_pool(workers)
+        task_scenarios = custom_scenarios()
+        task_systems = _custom_systems()
+        future_map = {
+            pool.submit(
+                _simulate_point_task, outcome.resolved, task_scenarios, task_systems
+            ): outcome
+            for outcome in executable
+        }
+        # Harvest in *completion* order so each finished point hits the
+        # store immediately — an interrupted sweep keeps everything that
+        # actually completed.  ``timeout`` is a stall budget: if no point
+        # finishes within it, everything still running is declared failed.
+        remaining = set(future_map)
+        while remaining:
+            completed, remaining = wait(
+                remaining, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not completed:
+                timed_out = True
+                for future in remaining:
+                    future.cancel()
+                    outcome = future_map[future]
+                    if future.done() and not future.cancelled():
+                        # Completed in the race window between wait()
+                        # returning empty and this loop: keep the result.
+                        harvest(future, outcome)
+                        continue
+                    outcome.error = f"no result within {timeout:g}s"
+                    outcome.wall_clock_seconds = float(timeout or 0.0)
+                    finish(outcome)
+                remaining = set()
+                break
+            for future in completed:
+                harvest(future, future_map[future])
+        if timed_out:
+            # A timed-out worker is still executing its point and a plain
+            # shutdown would block on it indefinitely; kill the pool's
+            # processes and discard it (every live worker belongs to a
+            # timed-out point by now) — the next caller spawns fresh.
+            discard_shared_pool(terminate=True)
     else:
         for outcome in executable:
             point_started = time.perf_counter()
             try:
-                outcome.result_dict = simulate_resolved_point(outcome.resolved)
+                outcome.result_dict, outcome.timing = _timed_simulate(outcome.resolved)
             except Exception as exc:
                 outcome.error = f"{type(exc).__name__}: {exc}"
             outcome.wall_clock_seconds = time.perf_counter() - point_started

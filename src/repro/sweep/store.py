@@ -100,12 +100,16 @@ class ResultStore:
         resolved_point: Mapping[str, object],
         result: Mapping[str, object],
         sweep_name: str = "",
+        timing: Optional[Mapping[str, float]] = None,
     ) -> dict:
         """Record one finished point: append, flush, and fsync.
 
         The fsync is what makes "persisted" mean persisted: without it a
         host or container crash could lose points the runner already
-        reported as cached for the next run.
+        reported as cached for the next run.  ``timing`` (optional) records
+        the host-side setup/simulate/collect split of the run that produced
+        the result, so per-point overhead — and what warm worker pools
+        amortise away — stays measurable from the store alone.
         """
         record = {
             "digest": digest,
@@ -115,6 +119,8 @@ class ResultStore:
             "point": dict(resolved_point),
             "result": dict(result),
         }
+        if timing is not None:
+            record["timing"] = dict(timing)
         directory = os.path.dirname(self._path)
         if directory:
             os.makedirs(directory, exist_ok=True)

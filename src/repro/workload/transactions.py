@@ -11,23 +11,30 @@ verifier's ``f_E + 1`` matching-results quorum relies on.
 from __future__ import annotations
 
 import hashlib
+from collections import namedtuple
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.perf import PERF
 
 
-@dataclass(frozen=True)
-class Operation:
-    """One read or write of a single key."""
+class Operation(namedtuple("_OperationBase", ("key", "is_write", "value"))):
+    """One read or write of a single key.
 
-    key: str
-    is_write: bool
-    value: Optional[str] = None
+    A namedtuple rather than a frozen dataclass: the workload generator
+    allocates one per operation on the hottest path of a run, and the
+    generator constructs them via ``tuple.__new__`` entirely in C (no
+    per-instance ``__dict__``).  Field access, equality, and keyword
+    construction are unchanged for callers; a write without an explicit
+    value still normalises it to ``""``.
+    """
 
-    def __post_init__(self) -> None:
-        if self.is_write and self.value is None:
-            object.__setattr__(self, "value", "")
+    __slots__ = ()
+
+    def __new__(cls, key: str, is_write: bool = False, value: Optional[str] = None):
+        if is_write and value is None:
+            value = ""
+        return tuple.__new__(cls, (key, is_write, value))
 
 
 @dataclass(frozen=True)
@@ -55,12 +62,15 @@ class Transaction:
     # They are memoised on the instance; frozen dataclasses still carry a
     # ``__dict__``, so ``object.__setattr__`` works.
 
+    # Operations are namedtuples, so the comprehensions below unpack them
+    # directly (C-level) instead of reading attributes one by one.
+
     @property
     def read_set(self) -> FrozenSet[str]:
         try:
             return self._read_set
         except AttributeError:
-            cached = frozenset(op.key for op in self.operations if not op.is_write)
+            cached = frozenset(key for key, is_write, _value in self.operations if not is_write)
             object.__setattr__(self, "_read_set", cached)
             return cached
 
@@ -69,7 +79,7 @@ class Transaction:
         try:
             return self._write_set
         except AttributeError:
-            cached = frozenset(op.key for op in self.operations if op.is_write)
+            cached = frozenset(key for key, is_write, _value in self.operations if is_write)
             object.__setattr__(self, "_write_set", cached)
             return cached
 
@@ -80,8 +90,23 @@ class Transaction:
         except AttributeError:
             # Computed straight from the operations (== read_set | write_set)
             # so the hot execution path doesn't materialise both sub-sets.
-            cached = frozenset(op.key for op in self.operations)
+            cached = frozenset(key for key, _w, _v in self.operations)
             object.__setattr__(self, "_keys", cached)
+            return cached
+
+    @property
+    def sorted_keys(self) -> Tuple[str, ...]:
+        """The transaction's distinct keys in sorted order.
+
+        What batch execution iterates when recording observed versions —
+        identical ordering to ``sorted(self.keys)``, without materialising
+        the frozenset on that path.
+        """
+        try:
+            return self._sorted_keys
+        except AttributeError:
+            cached = tuple(sorted({key for key, _w, _v in self.operations}))
+            object.__setattr__(self, "_sorted_keys", cached)
             return cached
 
     def canonical(self) -> str:
@@ -89,8 +114,10 @@ class Transaction:
             return self._canonical
         except AttributeError:
             ops = ";".join(
-                f"{'W' if op.is_write else 'R'}:{op.key}:{op.value or ''}"
-                for op in self.operations
+                [
+                    f"{'W' if is_write else 'R'}:{key}:{value or ''}"
+                    for key, is_write, value in self.operations
+                ]
             )
             cached = f"txn:{self.txn_id}:{self.client_id}:{ops}:{self.execution_seconds}"
             object.__setattr__(self, "_canonical", cached)
@@ -151,7 +178,7 @@ class TransactionBatch:
             # One pass over all operations (== read_set | write_set) without
             # materialising 2 x batch_size intermediate frozensets.
             cached = frozenset(
-                op.key for txn in self.transactions for op in txn.operations
+                op[0] for txn in self.transactions for op in txn.operations
             )
             object.__setattr__(self, "_keys", cached)
         return cached
@@ -163,6 +190,23 @@ class TransactionBatch:
         if cached is None:
             cached = tuple(sorted(self.keys))
             object.__setattr__(self, "_sorted_keys", cached)
+        return cached
+
+    @property
+    def request_groups(self) -> Tuple[Tuple[Tuple[str, str], Tuple[str, ...]], ...]:
+        """Transaction ids grouped by ``(origin, request_id)``, in batch order.
+
+        The verifier replies per client request; the grouping depends only
+        on the (frozen) batch, so it is computed once per batch instead of
+        once per validated sequence number.
+        """
+        cached = self.__dict__.get("_request_groups")
+        if cached is None:
+            groups: Dict[Tuple[str, str], List[str]] = {}
+            for txn in self.transactions:
+                groups.setdefault((txn.origin, txn.request_id), []).append(txn.txn_id)
+            cached = tuple((key, tuple(ids)) for key, ids in groups.items())
+            object.__setattr__(self, "_request_groups", cached)
         return cached
 
     @property
@@ -207,7 +251,7 @@ class TransactionBatch:
         cached = self.__dict__.get("_canonical")
         if cached is None:
             cached = f"batch:{self.batch_id}:" + "|".join(
-                txn.canonical() for txn in self.transactions
+                [txn.canonical() for txn in self.transactions]
             )
             object.__setattr__(self, "_canonical", cached)
         return cached
@@ -293,6 +337,17 @@ def execute_batch_cached(
         PERF.batch_execution_cache_hits += 1
     if snapshot_token >= 0:
         memo[snapshot_token] = result
+        # Host-side freshness hint for the verifier: this (honest) result
+        # describes the store state identified by ``snapshot_token`` — also
+        # when served from the versions-key memo, since equal observed
+        # versions mean the two snapshots agree on every key the batch
+        # touches.  Byzantine corruption builds *new* result objects, which
+        # never carry the hint, so the verifier's fast path only ever sees
+        # honestly produced results.  Not part of the canonical form or any
+        # digest.
+        current = result.__dict__.get("_observed_token", -1)
+        if snapshot_token > current:
+            object.__setattr__(result, "_observed_token", snapshot_token)
     return result
 
 
@@ -309,35 +364,36 @@ def execute_batch(
     results will not match them).
     """
     PERF.batch_executions += 1
-    # The digest chunks are accumulated and hashed in one pass; SHA-256 is a
-    # streaming hash, so the digest is identical to updating chunk by chunk.
-    chunks: List[bytes] = [batch.batch_id.encode("utf-8")]
+    # Digest chunks are accumulated as *strings* and encoded in one pass at
+    # the end: UTF-8 encoding distributes over concatenation, so the hashed
+    # bytes — and therefore the result digest — are byte-identical to the
+    # old chunk-by-chunk encoding.
+    chunks: List[str] = [batch.batch_id]
     append_chunk = chunks.append
     values_get = read_values.get
     versions_get = read_versions.get
+    result_new = TransactionResult.__new__
     txn_results: List[TransactionResult] = []
     for txn in batch.transactions:
         txn_id = txn.txn_id
         writes: Dict[str, str] = {}
-        for op in txn.operations:
-            key = op.key
-            current = values_get(key, "")
-            append_chunk(f"{key}={current}".encode("utf-8"))
-            if op.is_write:
-                new_value = f"{op.value}:{txn_id}"
+        for key, is_write, value in txn.operations:
+            append_chunk(f"{key}={values_get(key, '')}")
+            if is_write:
+                new_value = f"{value}:{txn_id}"
                 writes[key] = new_value
-                append_chunk(new_value.encode("utf-8"))
+                append_chunk(new_value)
         # The digest covers the observed versions too: VERIFY messages only
         # "match" (Figure 3, Line 23) when the executors saw the same storage
         # state, which is what the verifier's concurrency check relies on.
         observed_versions: Dict[str, int] = {}
-        for key in sorted(txn.keys):
+        for key in txn.sorted_keys:
             version = versions_get(key, 0)
             observed_versions[key] = version
-            append_chunk(f"{key}@{version}".encode("utf-8"))
+            append_chunk(f"{key}@{version}")
         # Fast frozen-dataclass construction (see YCSBWorkload): this runs
         # once per transaction per observed snapshot.
-        txn_result = object.__new__(TransactionResult)
+        txn_result = result_new(TransactionResult)
         result_dict = txn_result.__dict__
         result_dict["txn_id"] = txn_id
         result_dict["writes"] = writes
@@ -345,7 +401,7 @@ def execute_batch(
         txn_results.append(txn_result)
     return ExecutionResult(
         batch_id=batch.batch_id,
-        result_digest=hashlib.sha256(b"".join(chunks)).hexdigest(),
+        result_digest=hashlib.sha256("".join(chunks).encode("utf-8")).hexdigest(),
         txn_results=tuple(txn_results),
     )
 

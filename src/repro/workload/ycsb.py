@@ -86,6 +86,9 @@ class YCSBWorkload:
         self._private_modulus = max(1, config.num_records - config.hot_keys)
         # conflict_fraction == 0 means chance() never draws; skip the call.
         self._has_conflicts = config.conflict_fraction > 0.0
+        # With no conflicts and uniform keys the per-transaction dispatch in
+        # next_transaction is constant: branch once here, not per call.
+        self._uniform_only = not self._has_conflicts and config.zipfian_theta <= 0
         # Key-choice tables and per-transaction attribute hoists: the frozen
         # config never changes after construction, so every per-call config
         # attribute read in the generation loop is precomputable.  None of
@@ -137,8 +140,11 @@ class YCSBWorkload:
         else:
             client_id = f"client-{client_index}"
         txn_id = f"txn-{self._next_txn_index()}"
-        conflicting = self._has_conflicts and self._chance(self._conflict_fraction)
-        operations = self._build_operations(client_index, conflicting)
+        if self._uniform_only:
+            operations = self._build_operations_uniform(client_index)
+        else:
+            conflicting = self._has_conflicts and self._chance(self._conflict_fraction)
+            operations = self._build_operations(client_index, conflicting)
         # Fast frozen-dataclass construction: a generated transaction is the
         # single hottest allocation in a run (batch size x clients per
         # second), and the frozen __init__'s per-field object.__setattr__
@@ -154,6 +160,92 @@ class YCSBWorkload:
         txn_dict["origin"] = origin
         txn_dict["request_id"] = request_id
         return txn
+
+    def next_transactions(
+        self,
+        count: int,
+        client_index_offset: int = 0,
+        origin: str = "",
+        request_id: str = "",
+    ) -> Tuple[Transaction, ...]:
+        """Generate ``count`` transactions pinned to consecutive client slots.
+
+        Draw-for-draw identical to calling :meth:`next_transaction` with
+        ``client_index = client_index_offset + slot`` for each slot; the
+        hoisted loop serves the client group's request path (one request per
+        round trip carrying ``group_size`` transactions), where the
+        per-transaction attribute reads of the single-transaction entry
+        point are measurable.
+        """
+        uniform_only = self._uniform_only
+        build_general = self._build_operations
+        has_conflicts = self._has_conflicts
+        chance = self._chance
+        conflict_fraction = self._conflict_fraction
+        client_ids = self._client_ids
+        num_ids = self._num_client_ids
+        next_index = self._next_txn_index
+        execution_seconds = self._execution_seconds
+        rw_sets_known = self._rw_sets_known
+        txn_new = Transaction.__new__
+        # Locals for the inlined uniform-key operation builder (identical
+        # draws and results to _build_operations_uniform, minus one call
+        # frame and its locals re-binding per transaction).
+        write_flags = self._write_flags
+        hot_keys = self._hot_count
+        modulus = self._private_modulus
+        draw_offset = self._draw_offset
+        draw_value = self._draw_value
+        strings = self._key_strings
+        strings_get = strings.get
+        starts = self._client_starts
+        num_starts = len(starts)
+        partition_size = self._partition_size
+        num_records = self._num_records
+        tuple_new = tuple.__new__
+        transactions: List[Transaction] = []
+        append = transactions.append
+        for slot in range(count):
+            client_index = client_index_offset + slot
+            if client_index < num_ids:
+                client_id = client_ids[client_index]
+            else:
+                client_id = f"client-{client_index}"
+            txn_id = f"txn-{next_index()}"
+            if uniform_only:
+                if client_index < num_starts:
+                    start = starts[client_index]
+                else:
+                    start = (client_index * partition_size) % num_records
+                op_list: List[Operation] = []
+                op_append = op_list.append
+                for is_write in write_flags:
+                    index = hot_keys + (start + draw_offset()) % modulus
+                    key = strings_get(index)
+                    if key is None:
+                        key = f"user{index}"
+                        strings[index] = key
+                    op_append(
+                        tuple_new(
+                            Operation,
+                            (key, is_write, f"val-{draw_value()}" if is_write else None),
+                        )
+                    )
+                operations = tuple(op_list)
+            else:
+                conflicting = has_conflicts and chance(conflict_fraction)
+                operations = build_general(client_index, conflicting)
+            txn = txn_new(Transaction)
+            txn_dict = txn.__dict__
+            txn_dict["txn_id"] = txn_id
+            txn_dict["client_id"] = client_id
+            txn_dict["operations"] = operations
+            txn_dict["execution_seconds"] = execution_seconds
+            txn_dict["rw_sets_known"] = rw_sets_known
+            txn_dict["origin"] = origin
+            txn_dict["request_id"] = request_id
+            append(txn)
+        return tuple(transactions)
 
     def transactions(self, count: int, client_index: Optional[int] = None) -> List[Transaction]:
         next_transaction = self.next_transaction
@@ -187,6 +279,7 @@ class YCSBWorkload:
             return self._build_operations_uniform(client_index)
         operations: List[Operation] = []
         append = operations.append
+        tuple_new = tuple.__new__
         for op_index, is_write in enumerate(self._write_flags):
             if conflicting and op_index == 0:
                 # Conflicting transactions contend on the shared hot set, and the
@@ -196,15 +289,9 @@ class YCSBWorkload:
             else:
                 key = self._private_key(client_index)
             value = f"val-{self._draw_value()}" if is_write else None
-            # Same fast construction as next_transaction: Operation is frozen,
-            # and ycsb always passes a non-None value for writes, so the
-            # __post_init__ normalisation is a no-op here.
-            op = object.__new__(Operation)
-            op_dict = op.__dict__
-            op_dict["key"] = key
-            op_dict["is_write"] = is_write
-            op_dict["value"] = value
-            append(op)
+            # C-level namedtuple construction; ycsb always passes a non-None
+            # value for writes, so Operation's normalisation is a no-op here.
+            append(tuple_new(Operation, (key, is_write, value)))
         return tuple(operations)
 
     def _build_operations_uniform(self, client_index: int) -> Tuple[Operation, ...]:
@@ -227,19 +314,19 @@ class YCSBWorkload:
         draw_value = self._draw_value
         strings = self._key_strings
         strings_get = strings.get
-        operation_new = Operation.__new__
+        tuple_new = tuple.__new__
         for is_write in self._write_flags:
             index = hot_keys + (start + draw_offset()) % modulus
             key = strings_get(index)
             if key is None:
                 key = f"user{index}"
                 strings[index] = key
-            op = operation_new(Operation)
-            op_dict = op.__dict__
-            op_dict["key"] = key
-            op_dict["is_write"] = is_write
-            op_dict["value"] = f"val-{draw_value()}" if is_write else None
-            append(op)
+            append(
+                tuple_new(
+                    Operation,
+                    (key, is_write, f"val-{draw_value()}" if is_write else None),
+                )
+            )
         return tuple(operations)
 
     def _key_string(self, index: int) -> str:

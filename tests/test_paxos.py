@@ -14,11 +14,11 @@ class _Host:
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim
 
-    def process(self, cost, callback):
-        callback()
+    def process(self, cost, callback, *args):
+        callback(*args)
 
-    def process_parallel(self, cost, parallelism, callback):
-        callback()
+    def process_parallel(self, cost, parallelism, callback, *args):
+        callback(*args)
 
     def set_timer(self, delay, callback, *args):
         return self._sim.schedule(delay, callback, *args)

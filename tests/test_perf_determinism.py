@@ -1,12 +1,15 @@
 """Perf-overhaul guardrails.
 
-The hot-path PR (cached digests, pooled event kernel, memoised execution,
-FastCryptoBackend) must not change any simulated-time result.  These tests
-pin that down:
+The hot-path PRs (cached digests, pooled event kernel, memoised execution,
+FastCryptoBackend, event coalescing, incremental verifier validation) must
+not change any simulated-time result.  These tests pin that down:
 
 * the same seed produces bit-identical runs;
 * the ``FastCryptoBackend`` produces results bit-identical to real crypto —
   commit sequence, latency statistics, and message counts included;
+* the kernel's event coalescing (deferred-slot fast lane) produces
+  bit-identical results with coalescing on vs. off, across all four
+  registered systems and under a byzantine scenario;
 * the supporting machinery (digest memo, canonicalisation fix, bounded
   samplers, execution memo, duplicate-delivery fix, incremental percentiles)
   behaves exactly like the unoptimised equivalents.
@@ -22,7 +25,8 @@ from repro.crypto.hashing import cached_digest, canonical_bytes, digest, seed_ca
 from repro.crypto.keys import KeyStore
 from repro.crypto.signatures import FastCryptoBackend, SignatureService, resolve_backend
 from repro.errors import ConfigurationError, CryptoError
-from repro.sim.engine import Simulator
+from repro.perf import PERF
+from repro.sim.engine import Simulator, event_coalescing_disabled, event_coalescing_enabled
 from repro.sim.network import Network, NetworkFaultPlan, UniformLatencyModel
 from repro.sim.rng import DeterministicRNG
 from repro.sim.stats import LatencyRecorder
@@ -108,6 +112,93 @@ def test_wall_clock_metrics_populated():
 def test_unknown_crypto_backend_rejected():
     with pytest.raises(ConfigurationError):
         _small_config(crypto_backend="quantum")
+
+
+# ------------------------------------------------------------ event coalescing
+
+
+def _coalescing_fingerprint(system: str, scenarios=(), seed: int = 7):
+    """Simulated-result fingerprint of one short facade run.
+
+    ``events_processed`` is included on purpose: the deferred-slot fast lane
+    must not elide or duplicate a single kernel event.
+    """
+    from repro.api import RunSpec, run
+    from repro.api.facade import result_digest
+
+    result = run(
+        RunSpec(
+            system=system,
+            duration=0.6,
+            warmup=0.1,
+            seed=seed,
+            scenarios=list(scenarios),
+        )
+    )
+    return result_digest(result), result.events_processed
+
+
+@pytest.mark.parametrize(
+    "system", ["serverless_bft", "serverless_cft", "pbft_replicated", "noshim"]
+)
+def test_event_coalescing_bit_identical_across_systems(system):
+    """Coalescing on vs. off: same digests, same event count, per system."""
+    assert event_coalescing_enabled()
+    with_coalescing = _coalescing_fingerprint(system)
+    with event_coalescing_disabled():
+        without_coalescing = _coalescing_fingerprint(system)
+    assert event_coalescing_enabled()
+    assert with_coalescing == without_coalescing
+
+
+def test_event_coalescing_bit_identical_byzantine_scenario():
+    """A byzantine run (signature failures, corrupt results) is coalescing-proof."""
+    with_coalescing = _coalescing_fingerprint(
+        "serverless_bft", scenarios=("byzantine-executors",), seed=5
+    )
+    with event_coalescing_disabled():
+        without_coalescing = _coalescing_fingerprint(
+            "serverless_bft", scenarios=("byzantine-executors",), seed=5
+        )
+    assert with_coalescing == without_coalescing
+
+
+def test_deferred_slot_preserves_schedule_order():
+    """Same-timestamp events run in seq order whether slotted or heaped."""
+    order = []
+    sim = Simulator()
+    sim.schedule_fast(1.0, order.append, "fast-a")  # parked in the slot
+    sim.schedule(1.0, order.append, "timer-b")  # heap, later seq
+    sim.schedule_fast(1.0, order.append, "fast-c")  # demotes nothing, heap
+    sim.schedule_fast(0.5, order.append, "fast-d")  # earlier: takes the slot
+    sim.run_until_idle()
+    assert order == ["fast-d", "fast-a", "timer-b", "fast-c"]
+
+
+def test_deferred_slot_counts_coalesced_events():
+    """A chain of back-to-back events runs straight from the slot."""
+    PERF.reset()
+    sim = Simulator()
+    remaining = [100]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule_fast(1e-6, tick)
+
+    sim.schedule_fast(0.0, tick)
+    sim.run_until_idle()
+    assert sim.events_processed == 101
+    assert PERF.events_coalesced >= 100  # every chained tick skipped the heap
+
+
+def test_coalescing_disabled_uses_heap_only():
+    with event_coalescing_disabled():
+        PERF.reset()
+        sim = Simulator()
+        sim.schedule_fast(0.1, lambda: None)
+        sim.run_until_idle()
+        assert PERF.events_coalesced == 0
 
 
 # ------------------------------------------------------------ crypto layer
@@ -203,6 +294,29 @@ def test_bounded_int_fn_matches_randint_draw_for_draw():
         assert draw_small() == reference.randint(0, 6)
         assert draw_one() == reference.randint(0, 0)
         assert draw_large() == reference.randint(0, 10**9)
+
+
+def test_next_transactions_matches_single_transaction_entry_point():
+    """The hoisted batch generator and next_transaction stay draw-identical.
+
+    next_transactions inlines the uniform operation builder for speed; this
+    pins the contract that every future change to the key scheme keeps the
+    two entry points emitting the same transactions for the same draws.
+    """
+    batched = YCSBWorkload(YCSBConfig(clients=8, seed=21))
+    looped = YCSBWorkload(YCSBConfig(clients=8, seed=21))
+    from_batch = batched.next_transactions(16, client_index_offset=2, origin="o", request_id="r")
+    one_by_one = tuple(
+        looped.next_transaction(client_index=2 + slot, origin="o", request_id="r")
+        for slot in range(16)
+    )
+    assert from_batch == one_by_one
+    # And with conflicts + skew, where the general builder path is taken.
+    config = YCSBConfig(clients=8, seed=22, conflict_fraction=0.4, zipfian_theta=0.8)
+    batched, looped = YCSBWorkload(config), YCSBWorkload(config)
+    assert batched.next_transactions(16) == tuple(
+        looped.next_transaction(client_index=slot) for slot in range(16)
+    )
 
 
 def test_workload_generation_unchanged_by_fast_paths():

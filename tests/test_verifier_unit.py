@@ -244,6 +244,132 @@ def test_quorum_timeout_with_few_reports_blames_the_primary():
     assert harness.verifier.replace_messages_sent >= 1
 
 
+def test_live_version_map_tracks_commits_and_matches_store():
+    """Incremental validation: the live map mirrors the store across commits."""
+    harness = Harness()
+    for seq in (1, 2, 3):
+        batch = harness.make_batch(seq, keys=("k1", f"k{seq}x"))
+        harness.deliver(harness.make_verify(seq, "executor-0", batch), "executor-0")
+        harness.deliver(harness.make_verify(seq, "executor-1", batch), "executor-1")
+    assert harness.verifier.kmax == 4
+    assert harness.store.read("k1").version == 3  # bumped by every batch
+    live = harness.verifier._live_versions
+    for key, version in live.items():
+        assert version == harness.store.version_of(key), key
+
+
+def test_live_version_map_consistent_after_aborts():
+    """An aborted sequence leaves the store and live map untouched."""
+    harness = Harness()
+    batch1 = harness.make_batch(1, keys=("k1",))
+    harness.deliver(harness.make_verify(1, "executor-0", batch1), "executor-0")
+    harness.deliver(harness.make_verify(1, "executor-1", batch1), "executor-1")
+    assert harness.store.read("k1").version == 1
+    # Stale reads on the same key: the transaction aborts, no version bump.
+    batch2 = harness.make_batch(2, keys=("k1",))
+    harness.deliver(harness.make_verify(2, "executor-0", batch2, stale=True), "executor-0")
+    harness.deliver(harness.make_verify(2, "executor-1", batch2, stale=True), "executor-1")
+    assert harness.verifier.aborted_txns == 1
+    assert harness.store.read("k1").version == 1
+    assert harness.verifier._live_versions["k1"] == 1
+    # A later, fresh batch on the same key validates against the live map.
+    batch3 = harness.make_batch(3, keys=("k1",))
+    harness.deliver(harness.make_verify(3, "executor-0", batch3), "executor-0")
+    harness.deliver(harness.make_verify(3, "executor-1", batch3), "executor-1")
+    assert harness.store.read("k1").version == 2
+    assert harness.verifier._live_versions["k1"] == 2
+
+
+def test_live_version_map_consistent_after_replace_timeout_abort():
+    """The timeout-abort path (REPLACE machinery) keeps the map exact."""
+    harness = Harness(quorum_timeout=0.2, executor_faults=1, expected_executors=4)
+    batch = harness.make_batch(1, keys=("k1",))
+    harness.deliver(harness.make_verify(1, "executor-0", batch), "executor-0")
+    harness.deliver(harness.make_verify(1, "executor-1", batch, corrupt=True), "executor-1")
+    harness.deliver(harness.make_verify(1, "executor-2", batch, stale=True), "executor-2")
+    harness.run(until=1.0)
+    assert harness.client_messages(AbortMsg)  # abort-tagged via the timer
+    assert harness.store.write_count == 0
+    # The next sequence on the same key still validates and bumps correctly.
+    batch2 = harness.make_batch(2, keys=("k1",))
+    harness.deliver(harness.make_verify(2, "executor-0", batch2), "executor-0")
+    harness.deliver(harness.make_verify(2, "executor-1", batch2), "executor-1")
+    assert harness.store.read("k1").version == 1
+    live = harness.verifier._live_versions
+    assert live.get("k1") == 1
+
+
+def test_foreign_store_write_invalidates_live_map():
+    """A write bypassing the verifier is detected via the mutation counter."""
+    harness = Harness()
+    batch1 = harness.make_batch(1, keys=("k1",))
+    harness.deliver(harness.make_verify(1, "executor-0", batch1), "executor-0")
+    harness.deliver(harness.make_verify(1, "executor-1", batch1), "executor-1")
+    assert harness.store.read("k1").version == 1
+    # Poke the store directly (no verifier involvement).
+    harness.store.apply_writes({"k1": "foreign"})
+    assert harness.store.read("k1").version == 2
+    # Executors that observed the foreign version still commit...
+    batch2 = harness.make_batch(2, keys=("k1",))
+    harness.deliver(harness.make_verify(2, "executor-0", batch2), "executor-0")
+    harness.deliver(harness.make_verify(2, "executor-1", batch2), "executor-1")
+    assert harness.store.read("k1").version == 3
+    # ...and the reseeded live map is exact again.
+    assert harness.verifier._live_versions["k1"] == 3
+
+
+def test_fabricated_read_version_outside_batch_aborts():
+    """Matching results reporting a key outside the batch must still abort.
+
+    The old per-batch snapshot aborted such transactions because the key
+    was missing from the snapshot; the incremental check must reproduce
+    that via the batch-key containment test even when the fabricated
+    version happens to equal the store's current version.
+    """
+    import hashlib
+    from dataclasses import replace
+
+    from repro.workload.transactions import ExecutionResult, TransactionResult
+
+    harness = Harness()
+    # Commit a first batch so the foreign key has a live, nonzero version.
+    batch1 = harness.make_batch(1, keys=("zz",))
+    harness.deliver(harness.make_verify(1, "executor-0", batch1), "executor-0")
+    harness.deliver(harness.make_verify(1, "executor-1", batch1), "executor-1")
+    assert harness.store.read("zz").version == 1
+
+    batch2 = harness.make_batch(2, keys=("k1",))
+
+    def fabricated_verify(executor: str) -> VerifyMsg:
+        txn = batch2.transactions[0]
+        fabricated = TransactionResult(
+            txn_id=txn.txn_id,
+            writes={"k1": "v"},
+            # Correct version for k1 AND the true current version of the
+            # foreign key zz — every (key, version) pair matches the store.
+            read_versions={"k1": 0, "zz": 1},
+        )
+        result = ExecutionResult(
+            batch_id=batch2.batch_id,
+            result_digest=hashlib.sha256(b"fabricated").hexdigest(),
+            txn_results=(fabricated,),
+        )
+        certificate = CommitCertificate(view=0, seq=2, digest=digest(batch2))
+        unsigned = VerifyMsg(
+            seq=2, batch=batch2, digest=digest(batch2), certificate=certificate,
+            result=result, executor=executor,
+        )
+        signature = SignatureService(harness.keystore, executor).sign(unsigned.canonical())
+        return replace(unsigned, signature=signature)
+
+    harness.deliver(fabricated_verify("executor-0"), "executor-0")
+    harness.deliver(fabricated_verify("executor-1"), "executor-1")
+    responses = harness.client_messages(ResponseMsg)
+    aborted = [r for r in responses if r.aborted_txn_ids]
+    assert aborted and aborted[0].aborted_txn_ids == ("txn-2",)
+    assert harness.store.read("k1").version == 0  # fabricated write rejected
+
+
 def test_quorum_timeout_with_conflicting_reports_aborts():
     harness = Harness(quorum_timeout=0.2, executor_faults=1, expected_executors=4)
     batch = harness.make_batch(1)
