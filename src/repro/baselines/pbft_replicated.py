@@ -241,6 +241,12 @@ class PBFTReplicatedSimulation:
         _warn_legacy_entry_point("PBFTReplicatedSimulation")
         if execution_threads < 1:
             raise ConfigurationError("execution_threads must be at least 1")
+        if config.fault_timeline:
+            raise ConfigurationError(
+                "pbft_replicated does not support fault_timeline: its replicas "
+                "execute state machines locally and have no checkpoint-based "
+                "catch-up path (use serverless_bft/serverless_cft/noshim)"
+            )
         self.config = config
         self.execution_threads = execution_threads
         self.workload_config = workload or YCSBConfig(clients=config.num_clients, seed=config.seed)

@@ -4,6 +4,13 @@ Each sequence number has a slot tracking how far it has progressed through
 the PBFT phases, the batch proposed for it, and — once committed — the
 commit certificate (the 2f_R + 1 commit signatures that the primary later
 forwards to executors inside EXECUTE messages).
+
+The log also maintains the *stable checkpoint* watermark (Section V-B):
+once 2f+1 replicas have checkpointed through a sequence number — and this
+replica has committed everything up to it — slots and retained entries at or
+below the watermark are truncated, which is what bounds the log's memory
+under long runs and rolling restarts.  Truncated sequence numbers still
+count as committed (``is_committed``), they just no longer carry payloads.
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ class ConsensusLog:
         self._slots: Dict[int, SlotState] = {}
         self._committed: Dict[int, CommittedEntry] = {}
         self._last_checkpoint_seq = 0
+        self._stable_seq = 0
+        self._total_committed = 0
 
     def slot(self, seq: int) -> SlotState:
         if seq not in self._slots:
@@ -63,15 +72,21 @@ class ConsensusLog:
         return seq in self._slots
 
     def committed_entries(self) -> List[CommittedEntry]:
+        """Retained (post-watermark) committed entries, in sequence order."""
         return [self._committed[seq] for seq in sorted(self._committed)]
 
     def committed_count(self) -> int:
-        return len(self._committed)
+        """Total sequence numbers known decided (monotone across truncation)."""
+        return self._total_committed
 
     def is_committed(self, seq: int) -> bool:
-        return seq in self._committed
+        return seq <= self._stable_seq or seq in self._committed
 
     def record_commit(self, entry: CommittedEntry) -> None:
+        if entry.seq <= self._stable_seq:
+            return
+        if entry.seq not in self._committed:
+            self._total_committed += 1
         self._committed[entry.seq] = entry
         slot = self.slot(entry.seq)
         slot.committed = True
@@ -84,7 +99,8 @@ class ConsensusLog:
         return [entry for seq, entry in sorted(self._committed.items()) if seq > seq_exclusive]
 
     def max_committed_seq(self) -> int:
-        return max(self._committed) if self._committed else 0
+        retained = max(self._committed) if self._committed else 0
+        return max(self._stable_seq, retained)
 
     def prepared_uncommitted(self) -> List[SlotState]:
         """Slots that prepared but did not commit (carried into view changes)."""
@@ -103,4 +119,77 @@ class ConsensusLog:
 
     def missing_below(self, seq: int) -> List[int]:
         """Sequence numbers ≤ ``seq`` that this replica has not committed."""
-        return [candidate for candidate in range(1, seq + 1) if candidate not in self._committed]
+        return [
+            candidate
+            for candidate in range(self._stable_seq + 1, seq + 1)
+            if candidate not in self._committed
+        ]
+
+    # ------------------------------------------------------------------ checkpoints
+
+    @property
+    def stable_seq(self) -> int:
+        """Highest truncated (2f+1-checkpointed) sequence number."""
+        return self._stable_seq
+
+    @property
+    def retained_commits(self) -> int:
+        """Committed entries still held in memory (post-watermark)."""
+        return len(self._committed)
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    def contiguous_committed_through(self) -> int:
+        """Largest seq such that every sequence number ≤ it is committed."""
+        seq = self._stable_seq
+        while (seq + 1) in self._committed:
+            seq += 1
+        return seq
+
+    def mark_stable(self, seq: int) -> None:
+        """Advance the stable watermark and truncate at/below it.
+
+        The caller guarantees every sequence number ≤ ``seq`` is locally
+        committed (use :meth:`contiguous_committed_through` to clamp), so
+        truncation never changes what ``is_committed`` reports.
+        """
+        if seq <= self._stable_seq:
+            return
+        self._stable_seq = seq
+        self._truncate()
+
+    def skip_to_stable(self, seq: int) -> None:
+        """Recovery skip-ahead: adopt a peer-vouched stable watermark.
+
+        Sequence numbers up to ``seq`` become committed-by-proxy (their
+        certificates were truncated cluster-wide); used by a recovering node
+        whose catch-up responders no longer retain the early certificates.
+        """
+        if seq <= self._stable_seq:
+            return
+        for candidate in range(self._stable_seq + 1, seq + 1):
+            if candidate not in self._committed:
+                self._total_committed += 1
+        self._stable_seq = seq
+        self._truncate()
+
+    def drop_volatile(self) -> None:
+        """Crash: volatile slots and retained entries vanish.
+
+        Only the stable watermark survives a crash (stable checkpoints are
+        durable by definition); everything after it must be re-learned
+        through the state-transfer path.
+        """
+        self._slots.clear()
+        self._committed.clear()
+        self._total_committed = self._stable_seq
+        self._last_checkpoint_seq = self._stable_seq
+
+    def _truncate(self) -> None:
+        stable = self._stable_seq
+        for seq in [seq for seq in self._committed if seq <= stable]:
+            del self._committed[seq]
+        for seq in [seq for seq in self._slots if seq <= stable]:
+            del self._slots[seq]

@@ -19,6 +19,7 @@ COMMIT_BYTES = 220
 VIEWCHANGE_BASE_BYTES = 512
 NEWVIEW_BASE_BYTES = 512
 CHECKPOINT_BASE_BYTES = 256
+CHECKPOINT_REQUEST_BYTES = 128
 
 
 @dataclass(frozen=True)
@@ -131,12 +132,24 @@ class CheckpointMsg:
     view: int
     up_to_seq: int
     replica: str
-    certificates: Dict[int, Tuple[str, Tuple[Signature, ...]]] = field(default_factory=dict)
+    #: seq -> (digest, commit view, commit signatures).  The *commit view*
+    #: is the view the certificate's signatures were produced in — required
+    #: to re-verify them after later view changes (the sender's current
+    #: ``view`` above may have moved on).
+    certificates: Dict[int, Tuple[str, int, Tuple[Signature, ...]]] = field(default_factory=dict)
+    #: Sender's stable (truncated) watermark: sequence numbers ≤ it are
+    #: 2f+1-checkpointed cluster-wide and their certificates are no longer
+    #: retained.  A recovering node adopts the watermark once f+1 distinct
+    #: responders vouch for it.
+    stable_seq: int = 0
     signature: Optional[Signature] = None
 
     def canonical(self) -> str:
-        certs = ";".join(f"{seq}:{digest}" for seq, (digest, _sigs) in sorted(self.certificates.items()))
-        return f"checkpoint:{self.view}:{self.up_to_seq}:{self.replica}:{certs}"
+        certs = ";".join(
+            f"{seq}:{view}:{digest}"
+            for seq, (digest, view, _sigs) in sorted(self.certificates.items())
+        )
+        return f"checkpoint:{self.view}:{self.up_to_seq}:{self.stable_seq}:{self.replica}:{certs}"
 
     def unsigned(self) -> "CheckpointMsg":
         return CheckpointMsg(
@@ -144,13 +157,36 @@ class CheckpointMsg:
             up_to_seq=self.up_to_seq,
             replica=self.replica,
             certificates=self.certificates,
+            stable_seq=self.stable_seq,
         )
 
     @property
     def size_bytes(self) -> int:
         return CHECKPOINT_BASE_BYTES + 96 * sum(
-            1 + len(sigs) for _digest, sigs in self.certificates.values()
+            1 + len(sigs) for _digest, _view, sigs in self.certificates.values()
         )
+
+
+@dataclass(frozen=True)
+class CheckpointRequestMsg:
+    """A recovering (or dark) node asking peers for catch-up state.
+
+    The requester announces the highest sequence number it still holds
+    (``low_seq``); each peer replies with a targeted :class:`CheckpointMsg`
+    carrying the certificates it retains beyond that point plus its stable
+    watermark and current view — together the state-transfer path of
+    Section V-B for a node rejoining after a crash.
+    """
+
+    replica: str
+    low_seq: int = 0
+
+    def canonical(self) -> str:
+        return f"checkpoint-request:{self.replica}:{self.low_seq}"
+
+    @property
+    def size_bytes(self) -> int:
+        return CHECKPOINT_REQUEST_BYTES
 
 
 # --------------------------------------------------------------------------- Paxos

@@ -27,6 +27,7 @@ from repro.consensus.log import CommittedEntry, ConsensusLog
 from repro.consensus.messages import (
     COMMIT_BYTES,
     CheckpointMsg,
+    CheckpointRequestMsg,
     CommitMsg,
     NewViewMsg,
     PREPARE_BYTES,
@@ -59,6 +60,11 @@ class PBFTConfig:
 
     checkpoint_interval: int = 64
     request_timeout: float = 2.0
+    #: Base delay of the view-change escalation timer: after broadcasting a
+    #: VIEWCHANGE, wait this long (doubling per attempt) for the new view to
+    #: install before escalating to the next candidate view.  ``None`` or 0
+    #: falls back to ``request_timeout``.
+    viewchange_timeout: Optional[float] = None
     use_threshold_certificates: bool = False
 
 
@@ -112,6 +118,20 @@ class PBFTReplica:
         self._sent_viewchange_for: set = set()
         self._request_timers: Dict[int, Any] = {}
         self._view_changes_installed = 0
+        self._viewchange_timer: Any = None
+        self._viewchange_attempts = 0
+        # Crash/recovery lifecycle (driven by fault timelines).
+        self._crashed = False
+        self._catching_up = False
+        self._recovery_responders: set = set()
+        # Checkpoint bookkeeping: highest up_to / stable watermark / view each
+        # replica has reported, used to compute the 2f+1 stable checkpoint,
+        # the f+1 recovery skip-ahead, and the f+1 view re-adoption.
+        self._peer_checkpoint_seqs: Dict[str, int] = {}
+        self._peer_stable_seqs: Dict[str, int] = {}
+        self._peer_views: Dict[str, int] = {}
+        self._checkpoints_sent = 0
+        self._checkpoints_adopted = 0
 
     # ------------------------------------------------------------------ properties
 
@@ -144,6 +164,19 @@ class PBFTReplica:
         return self._view_changes_installed
 
     @property
+    def is_crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def checkpoints_sent(self) -> int:
+        return self._checkpoints_sent
+
+    @property
+    def checkpoints_adopted(self) -> int:
+        """Checkpoint messages from which at least one decision was adopted."""
+        return self._checkpoints_adopted
+
+    @property
     def primary(self) -> str:
         return self.primary_of(self._view)
 
@@ -159,6 +192,8 @@ class PBFTReplica:
 
     def propose(self, batch: Any) -> int:
         """Primary only: assign the next sequence number and start consensus."""
+        if self._crashed:
+            raise ProtocolViolation(f"{self._id} is crashed and cannot propose")
         if not self.is_primary:
             raise ProtocolViolation(f"{self._id} is not the primary of view {self._view}")
         self._next_seq += 1
@@ -185,6 +220,8 @@ class PBFTReplica:
         return seq
 
     def _emit_preprepare(self, message: PrePrepareMsg, targets: List[str], equivocation) -> None:
+        if self._crashed:
+            return
         if equivocation is not None:
             # A byzantine primary sends one batch to half the nodes and a
             # different batch (same sequence number) to the other half.
@@ -207,6 +244,8 @@ class PBFTReplica:
 
     def handle(self, message: Any, sender: str) -> bool:
         """Dispatch a consensus message.  Returns True if it was consumed."""
+        if self._crashed:
+            return True
         if isinstance(message, PrePrepareMsg):
             self.on_preprepare(message, sender)
         elif isinstance(message, PrepareMsg):
@@ -219,6 +258,8 @@ class PBFTReplica:
             self.on_new_view(message, sender)
         elif isinstance(message, CheckpointMsg):
             self.on_checkpoint(message, sender)
+        elif isinstance(message, CheckpointRequestMsg):
+            self.on_checkpoint_request(message, sender)
         else:
             return False
         return True
@@ -244,6 +285,8 @@ class PBFTReplica:
         self._host.process(cost, self._after_preprepare_accepted, message)
 
     def _after_preprepare_accepted(self, message: PrePrepareMsg) -> None:
+        if self._crashed:
+            return
         self._start_request_timer(message.seq)
         prepare = PrepareMsg(
             view=message.view, seq=message.seq, digest=message.digest, replica=self._id
@@ -259,6 +302,8 @@ class PBFTReplica:
         self._host.process(self._costs.mac_verify, self._record_prepare, message, sender)
 
     def _record_prepare(self, message: PrepareMsg, sender: str) -> None:
+        if self._crashed:
+            return
         key = (message.view, message.seq, message.digest)
         if self._prepare_quorum.add(key, sender):
             slot = self._log.slot(message.seq)
@@ -303,6 +348,8 @@ class PBFTReplica:
         self._host.process(self._costs.ds_verify, self._record_commit_vote, message, sender)
 
     def _record_commit_vote(self, message: CommitMsg, sender: str) -> None:
+        if self._crashed:
+            return
         key = (message.view, message.seq, message.digest)
         slot = self._log.slot(message.seq)
         if message.signature is not None:
@@ -341,17 +388,26 @@ class PBFTReplica:
 
     def _on_request_timeout(self, seq: int) -> None:
         self._request_timers.pop(seq, None)
-        if self._log.is_committed(seq):
+        if self._crashed or self._log.is_committed(seq):
             return
         self._trace("pbft.request_timeout", seq=seq)
         self.request_view_change(reason=f"timeout-seq-{seq}")
 
     # ------------------------------------------------------------------ view change
 
-    def request_view_change(self, reason: str = "") -> None:
-        """Broadcast a VIEWCHANGE for the next view (Section V-A4)."""
-        new_view = self._view + 1
-        if new_view in self._sent_viewchange_for:
+    def request_view_change(self, reason: str = "", target: Optional[int] = None) -> None:
+        """Broadcast a VIEWCHANGE for ``target`` (default: the next view).
+
+        Section V-A4.  Repeated failures escalate: every VIEWCHANGE arms the
+        escalation timer, and if the requested view does not install before
+        it expires the replica re-requests one view further with the timer
+        delay doubled — so a run of consecutive bad primaries is skipped in
+        O(k) view changes instead of stalling at v+1 forever.
+        """
+        if self._crashed:
+            return
+        new_view = target if target is not None else self._view + 1
+        if new_view <= self._view or new_view in self._sent_viewchange_for:
             return
         self._sent_viewchange_for.add(new_view)
         prepared = tuple(
@@ -367,9 +423,37 @@ class PBFTReplica:
         self._trace("pbft.viewchange_requested", new_view=new_view, reason=reason)
         self._host.process(
             self._costs.ds_sign,
-            lambda: self._transport.broadcast(message, message.size_bytes),
+            self._broadcast_message, message, message.size_bytes,
         )
+        self._arm_viewchange_timer()
         self.on_view_change(message, self._id)
+
+    def _viewchange_timeout_base(self) -> float:
+        configured = self._config.viewchange_timeout
+        if configured is not None and configured > 0:
+            return configured
+        return self._config.request_timeout
+
+    def _arm_viewchange_timer(self) -> None:
+        self._cancel_viewchange_timer()
+        delay = self._viewchange_timeout_base() * (2 ** self._viewchange_attempts)
+        self._viewchange_timer = self._host.set_timer(delay, self._on_viewchange_timeout)
+
+    def _cancel_viewchange_timer(self) -> None:
+        if self._viewchange_timer is not None:
+            self._viewchange_timer.cancel()
+            self._viewchange_timer = None
+
+    def _on_viewchange_timeout(self) -> None:
+        self._viewchange_timer = None
+        if self._crashed or not self._sent_viewchange_for:
+            return
+        # The view we asked for never installed (its primary may be the next
+        # faulty node in the rotation): escalate past it with backoff.
+        self._viewchange_attempts += 1
+        target = max(self._sent_viewchange_for) + 1
+        self._trace("pbft.viewchange_escalated", target=target, attempt=self._viewchange_attempts)
+        self.request_view_change(reason="escalation", target=target)
 
     def on_view_change(self, message: ViewChangeMsg, sender: str) -> None:
         if message.new_view <= self._view:
@@ -382,10 +466,12 @@ class PBFTReplica:
             return
         key = message.new_view
         # Joining rule: seeing f+1 view-change requests for a higher view is
-        # proof at least one honest node timed out, so join the view change.
+        # proof at least one honest node timed out, so join *that* view
+        # change (not merely v+1 — joining an escalated view change must
+        # target the escalated view, or the quorum can never form).
         if self._viewchange_join.add(key, sender) and sender != self._id:
             if key not in self._sent_viewchange_for:
-                self.request_view_change(reason="join")
+                self.request_view_change(reason="join", target=key)
         if self._viewchange_quorum.add(key, sender, payload=message):
             if self.primary_of(key) == self._id:
                 self._install_new_view_as_primary(key)
@@ -420,7 +506,7 @@ class PBFTReplica:
         seed_cached_digest(message, signature.message_digest)
         self._host.process(
             self._costs.ds_sign,
-            lambda: self._transport.broadcast(message, message.size_bytes),
+            self._broadcast_message, message, message.size_bytes,
         )
         self._adopt_view(new_view)
         self._trace("pbft.newview_sent", new_view=new_view, reproposals=len(reproposals))
@@ -456,6 +542,12 @@ class PBFTReplica:
         for timer in self._request_timers.values():
             timer.cancel()
         self._request_timers.clear()
+        # The view change succeeded: disarm escalation and reset its backoff.
+        self._cancel_viewchange_timer()
+        self._viewchange_attempts = 0
+        self._sent_viewchange_for = {
+            pending for pending in self._sent_viewchange_for if pending > new_view
+        }
         self._next_seq = max(self._next_seq, self._log.max_committed_seq())
         self._trace("pbft.view_installed", view=new_view, primary=self.primary)
         if self._on_view_installed is not None:
@@ -489,12 +581,34 @@ class PBFTReplica:
         entries = self._log.committed_since(since)
         if not entries:
             return
+        message = self._build_checkpoint(since)
+        self._log.advance_checkpoint(message.up_to_seq)
+        self._note_peer_checkpoint(self._id, message.up_to_seq, self._log.stable_seq)
+        self._checkpoints_sent += 1
+        self._host.process(
+            self._costs.ds_sign,
+            self._broadcast_message, message, message.size_bytes,
+        )
+        self._trace(
+            "pbft.checkpoint_sent",
+            up_to=message.up_to_seq,
+            entries=len(message.certificates),
+        )
+
+    def _build_checkpoint(self, since: int) -> CheckpointMsg:
+        """A signed checkpoint carrying the certificates retained after ``since``."""
+        entries = self._log.committed_since(since)
         certificates = {
-            entry.seq: (entry.digest, tuple(entry.certificate)) for entry in entries
+            entry.seq: (entry.digest, entry.view, tuple(entry.certificate))
+            for entry in entries
         }
-        up_to = max(certificates)
+        up_to = max(certificates) if certificates else max(self._log.max_committed_seq(), since)
         unsigned = CheckpointMsg(
-            view=self._view, up_to_seq=up_to, replica=self._id, certificates=certificates
+            view=self._view,
+            up_to_seq=up_to,
+            replica=self._id,
+            certificates=certificates,
+            stable_seq=self._log.stable_seq,
         )
         signature = self._signer.sign(unsigned)
         message = CheckpointMsg(
@@ -502,15 +616,28 @@ class PBFTReplica:
             up_to_seq=up_to,
             replica=self._id,
             certificates=certificates,
+            stable_seq=self._log.stable_seq,
             signature=signature,
         )
         seed_cached_digest(message, signature.message_digest)
-        self._log.advance_checkpoint(up_to)
+        return message
+
+    def on_checkpoint_request(self, message: CheckpointRequestMsg, sender: str) -> None:
+        """Targeted state transfer for a recovering or dark node (Section V-B).
+
+        Unlike the periodic broadcast, the reply is sent even when no
+        retained certificate is newer than the requester's ``low_seq`` — it
+        still carries this replica's stable watermark and current view,
+        which is exactly what a node rejoining after total state loss needs.
+        """
+        if self._crashed or sender == self._id or message.replica != sender:
+            return
+        reply = self._build_checkpoint(max(message.low_seq, self._log.stable_seq))
+        self._trace("pbft.checkpoint_reply", to=sender, low_seq=message.low_seq)
         self._host.process(
             self._costs.ds_sign,
-            lambda: self._transport.broadcast(message, message.size_bytes),
+            self._send_message, sender, reply, reply.size_bytes,
         )
-        self._trace("pbft.checkpoint_sent", up_to=up_to, entries=len(certificates))
 
     def on_checkpoint(self, message: CheckpointMsg, sender: str) -> None:
         if message.replica != sender:
@@ -519,18 +646,30 @@ class PBFTReplica:
             message, message.signature
         ):
             return
+        self._note_peer_checkpoint(sender, message.up_to_seq, message.stable_seq)
+        previous_view = self._peer_views.get(sender, 0)
+        self._peer_views[sender] = max(previous_view, message.view)
+        if self._catching_up:
+            self._recovery_responders.add(sender)
+            self._maybe_skip_to_peer_stable()
+            if len(self._recovery_responders) > self._f:
+                self._catching_up = False
+                self._trace("pbft.recovery_caught_up", up_to=self._log.max_committed_seq())
+        self._maybe_adopt_peer_view()
         adopted = 0
         verification_cost = 0.0
-        for seq, (slot_digest, signatures) in sorted(message.certificates.items()):
+        for seq, (slot_digest, commit_view, signatures) in sorted(message.certificates.items()):
             if self._log.is_committed(seq):
                 continue
-            valid = self._count_valid_certificate(seq, slot_digest, signatures, message.view)
+            # Verify against the view the commit votes were signed in, not
+            # the sender's current view — views may have moved on since.
+            valid = self._count_valid_certificate(seq, slot_digest, signatures, commit_view)
             verification_cost += self._costs.ds_verify * len(signatures)
             if valid < self._quorum:
                 continue
             entry = CommittedEntry(
                 seq=seq,
-                view=message.view,
+                view=commit_view,
                 digest=slot_digest,
                 batch=self._log.slot(seq).batch,
                 certificate=tuple(signatures),
@@ -541,9 +680,62 @@ class PBFTReplica:
             self._on_committed(entry)
         if adopted:
             self._log.advance_checkpoint(message.up_to_seq)
+            self._checkpoints_adopted += 1
             self._trace("pbft.checkpoint_adopted", from_replica=sender, adopted=adopted)
+        self._update_stable()
         if verification_cost:
             self._host.process_parallel(verification_cost, 16, lambda: None)
+
+    def _note_peer_checkpoint(self, replica: str, up_to_seq: int, stable_seq: int) -> None:
+        if up_to_seq > self._peer_checkpoint_seqs.get(replica, 0):
+            self._peer_checkpoint_seqs[replica] = up_to_seq
+        if stable_seq > self._peer_stable_seqs.get(replica, 0):
+            self._peer_stable_seqs[replica] = stable_seq
+
+    def _update_stable(self) -> None:
+        """Advance the stable watermark to the 2f+1-checkpointed prefix.
+
+        The watermark is the quorum-th largest ``up_to`` any replica has
+        checkpointed, clamped to the locally committed contiguous prefix so
+        truncation never touches a sequence number this replica has not
+        itself decided (which keeps fault-free runs bit-identical).
+        """
+        table = self._peer_checkpoint_seqs
+        if len(table) < self._quorum:
+            return
+        values = sorted(table.values(), reverse=True)
+        stable = min(values[self._quorum - 1], self._log.contiguous_committed_through())
+        if stable > self._log.stable_seq:
+            self._log.mark_stable(stable)
+            self._log.advance_checkpoint(stable)
+            self._trace("pbft.stable_checkpoint", stable=stable)
+
+    def _maybe_skip_to_peer_stable(self) -> None:
+        """Recovery skip-ahead: adopt an f+1-vouched stable watermark.
+
+        f+1 signed checkpoint replies claiming ``stable >= S`` include at
+        least one honest replica that truncated at S — which itself required
+        a 2f+1 checkpoint quorum — so the decisions below S are final even
+        though their certificates are no longer retained anywhere.
+        """
+        values = sorted(self._peer_stable_seqs.values(), reverse=True)
+        if len(values) <= self._f:
+            return
+        candidate = values[self._f]
+        if candidate > self._log.stable_seq:
+            self._log.skip_to_stable(candidate)
+            self._log.advance_checkpoint(candidate)
+            self._next_seq = max(self._next_seq, candidate)
+            self._trace("pbft.recovery_skip_ahead", stable=candidate)
+
+    def _maybe_adopt_peer_view(self) -> None:
+        """Re-learn the cluster's view after recovery (f+1 rule)."""
+        values = sorted(self._peer_views.values(), reverse=True)
+        if len(values) <= self._f:
+            return
+        candidate = values[self._f]
+        if candidate > self._view:
+            self._adopt_view(candidate)
 
     def _count_valid_certificate(
         self,
@@ -559,7 +751,73 @@ class PBFTReplica:
                 valid_signers.add(signature.signer)
         return len(valid_signers)
 
+    # ------------------------------------------------------------------ lifecycle
+
+    def crash(self) -> None:
+        """Lose all volatile state and stop processing (crash fault).
+
+        The stable checkpoint watermark is the only thing that survives
+        (stable checkpoints are durable by definition); slots, quorum
+        trackers, timers, and the current view are all volatile.  The
+        cumulative counters (view changes, checkpoints) survive too — they
+        are measurement bookkeeping, not protocol state.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        for timer in self._request_timers.values():
+            timer.cancel()
+        self._request_timers.clear()
+        self._cancel_viewchange_timer()
+        self._viewchange_attempts = 0
+        self._prepare_quorum = QuorumTracker(self._quorum)
+        self._commit_quorum = QuorumTracker(self._quorum)
+        self._viewchange_quorum = QuorumTracker(self._quorum)
+        self._viewchange_join = QuorumTracker(self._f + 1)
+        self._sent_viewchange_for = set()
+        self._peer_checkpoint_seqs = {}
+        self._peer_stable_seqs = {}
+        self._peer_views = {}
+        self._catching_up = False
+        self._recovery_responders = set()
+        self._log.drop_volatile()
+        self._view = 0
+        self._next_seq = self._log.max_committed_seq()
+        self._trace("pbft.crashed")
+
+    def recover(self) -> None:
+        """Rejoin after a crash: ask peers for catch-up state.
+
+        The replica resumes processing immediately and broadcasts a
+        CHECKPOINT-REQUEST announcing how far its durable state reaches;
+        peers reply with targeted featherweight checkpoints (and their
+        stable watermark and view), from which the replica re-adopts the
+        decisions and view it slept through.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._catching_up = True
+        self._recovery_responders = set()
+        request = CheckpointRequestMsg(replica=self._id, low_seq=self._log.max_committed_seq())
+        self._trace("pbft.recovery_requested", low_seq=request.low_seq)
+        self._host.process(
+            self._costs.mac_sign * max(1, self._n - 1),
+            self._broadcast_message, request, request.size_bytes,
+        )
+
     # ------------------------------------------------------------------ helpers
+
+    def _broadcast_message(self, message: Any, size_bytes: int) -> None:
+        """Deferred broadcast, dropped if the replica crashed in the meantime."""
+        if self._crashed:
+            return
+        self._transport.broadcast(message, size_bytes)
+
+    def _send_message(self, dst: str, message: Any, size_bytes: int) -> None:
+        if self._crashed:
+            return
+        self._transport.send(dst, message, size_bytes)
 
     def certificate_for(self, seq: int) -> Tuple[Signature, ...]:
         return self._log.slot(seq).certificate

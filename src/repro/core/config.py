@@ -79,6 +79,13 @@ class ProtocolConfig:
     conflict_mode: ConflictMode = ConflictMode.OPTIMISTIC
     use_threshold_certificates: bool = False
 
+    # --- fault timelines ----------------------------------------------------------
+    #: Scheduled fault events driving node lifecycle mid-run, as a compact
+    #: DSL string, e.g. ``"crash:primary@0.3;recover:primary@1.0"`` — see
+    #: :mod:`repro.faults.timeline`.  Empty means fault-free (no engine is
+    #: built, no events are scheduled, results stay bit-identical).
+    fault_timeline: str = ""
+
     # --- cost model / misc --------------------------------------------------------
     #: Which signature implementation backs the simulation: "real" (HMAC, the
     #: default — byzantine tests depend on real verification failing for forged
@@ -167,6 +174,12 @@ class ProtocolConfig:
             raise ConfigurationError(
                 f"crypto_backend must be 'real' or 'fast', got {self.crypto_backend!r}"
             )
+        if self.fault_timeline:
+            # Fail fast on a malformed timeline (lazy import: timeline.py
+            # imports nothing from here, but keep config importable alone).
+            from repro.faults.timeline import parse_timeline
+
+            parse_timeline(self.fault_timeline)
 
     def with_overrides(self, **overrides) -> "ProtocolConfig":
         """Return a copy with some fields replaced (used by parameter sweeps)."""

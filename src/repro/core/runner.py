@@ -251,6 +251,17 @@ class ServerlessBFTSimulation:
         for node in self.nodes:
             node.add_primary_change_listener(self._on_primary_change)
 
+        # --- fault timeline ----------------------------------------------------------
+        # Built only when configured: a fault-free run constructs no engine,
+        # schedules no events, and registers no commit listener, so its
+        # results stay bit-identical to a build without this feature.
+        self.fault_engine = None
+        if config.fault_timeline:
+            from repro.faults.timeline import FaultTimelineEngine
+
+            self.fault_engine = FaultTimelineEngine(self)
+            self.throughput.set_commit_listener(self.fault_engine.watchdog.on_commit)
+
         self._executor_required_signers = (
             config.shim_quorum if consensus_engine == "pbft" else 0
         )
@@ -353,4 +364,6 @@ class ServerlessBFTSimulation:
             billing=billing,
             cents_per_kilo_txn=billing.cents_per_kilo_txn(committed),
         )
+        if self.fault_engine is not None:
+            result.extra.update(self.fault_engine.metrics(duration))
         return result

@@ -53,9 +53,13 @@ class _NodeTransport(ReplicaTransport):
         self._node = node
 
     def send(self, dst: str, message: Any, size_bytes: int) -> None:
+        if self._node.is_crashed:
+            return
         self._node.network.send(self._node.name, dst, message, size_bytes)
 
     def broadcast(self, message: Any, size_bytes: int, targets: Optional[List[str]] = None) -> None:
+        if self._node.is_crashed:
+            return
         recipients = targets if targets is not None else self._node.peer_names
         self._node.network.broadcast(self._node.name, recipients, message, size_bytes)
 
@@ -104,6 +108,7 @@ class ShimNode(SimProcess):
         self._forwarded_requests = 0
         self._planner = ConflictPlanner()
         self._primary_change_listeners: List[Callable[[str], None]] = []
+        self._crashed = False
 
         network.register(name, region, self.on_message)
 
@@ -190,9 +195,50 @@ class ShimNode(SimProcess):
     def add_primary_change_listener(self, listener: Callable[[str], None]) -> None:
         self._primary_change_listeners.append(listener)
 
+    # ------------------------------------------------------------------ lifecycle
+
+    @property
+    def is_crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Crash the node: volatile state is lost, processing stops.
+
+        ``_batch_counter`` deliberately survives — batch ids must never be
+        reused across an incarnation, or a stale pre-crash proposal could
+        collide with a fresh one.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._pending_txns.clear()
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        for key in list(self._retransmission_timers):
+            self._retransmission_timers.pop(key).cancel()
+        self._planner = ConflictPlanner()
+        self._committed_entries.clear()
+        self._request_seq.clear()
+        self._verified_seqs.clear()
+        if hasattr(self._replica, "crash"):
+            self._replica.crash()
+        self._trace("node.crashed")
+
+    def recover(self) -> None:
+        """Restart the node; the replica initiates checkpoint catch-up."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        if hasattr(self._replica, "recover"):
+            self._replica.recover()
+        self._trace("node.recovered")
+
     # ------------------------------------------------------------------ dispatch
 
     def on_message(self, message, sender: str) -> None:
+        if self._crashed:
+            return
         if self._behaviour is not None and self._behaviour.is_crashed():
             return
         if isinstance(message, ClientRequestMsg):
@@ -242,7 +288,9 @@ class ShimNode(SimProcess):
         self._maybe_propose()
 
     def _maybe_propose(self) -> None:
-        if not self.is_primary:
+        # The crash guard catches deferred CPU completions (a signature check
+        # submitted before the crash finishing after it).
+        if self._crashed or not self.is_primary:
             return
         while len(self._pending_txns) >= self._config.batch_size:
             self._propose_batch(self._config.batch_size)
@@ -251,7 +299,7 @@ class ShimNode(SimProcess):
 
     def _flush_partial_batch(self) -> None:
         self._flush_timer = None
-        if not self.is_primary or not self._pending_txns:
+        if self._crashed or not self.is_primary or not self._pending_txns:
             return
         self._propose_batch(len(self._pending_txns))
 
@@ -337,6 +385,8 @@ class ShimNode(SimProcess):
         self.process(spawn_cost, self._invoke_cloud, execute, regions, delay)
 
     def _invoke_cloud(self, execute: ExecuteMsg, regions: List[str], delay: float) -> None:
+        if self._crashed:
+            return
         if delay > 0:
             self.set_timer(delay, self._invoke_cloud, execute, regions, 0.0)
             return
@@ -415,6 +465,8 @@ class ShimNode(SimProcess):
     def _on_retransmission_timeout(self, key: str) -> None:
         """The primary never resolved a forwarded ERROR: ask for a view change."""
         self._retransmission_timers.pop(key, None)
+        if self._crashed:
+            return
         if hasattr(self._replica, "request_view_change"):
             self._trace("node.retransmission_timeout", key=key)
             self._replica.request_view_change(reason=f"retransmission:{key}")

@@ -22,8 +22,26 @@ from repro.faults.byzantine import (
     UnsuccessfulConsensusBehaviour,
     WrongResultBehaviour,
 )
+from repro.faults.timeline import (
+    CrashEvent,
+    FaultTimelineEngine,
+    LivenessWatchdog,
+    PartitionEvent,
+    RecoverEvent,
+    SlowEvent,
+    format_timeline,
+    parse_timeline,
+)
 
 __all__ = [
+    "CrashEvent",
+    "FaultTimelineEngine",
+    "LivenessWatchdog",
+    "PartitionEvent",
+    "RecoverEvent",
+    "SlowEvent",
+    "format_timeline",
+    "parse_timeline",
     "CrashBehaviour",
     "DelaySpawningBehaviour",
     "DuplicateSpawningBehaviour",

@@ -42,6 +42,34 @@ DEFAULT_SCALAR_METRICS: Tuple[Tuple[str, str], ...] = (
     ("aborted", "aborted_txns"),
 )
 
+#: Recovery metrics recorded by the fault-timeline watchdog, aggregated
+#: only when *every* replicate of a series point carries them (fields are
+#: dotted paths into the result dict, e.g. ``extra.unavailability_seconds``).
+#: Fault-free stores have no ``extra`` recovery keys, so these columns never
+#: appear for them and their renders stay byte-identical.
+RECOVERY_SCALAR_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("unavailability_s", "extra.unavailability_seconds"),
+    ("recovery_ttr_s", "extra.time_to_recovery_seconds"),
+    ("view_changes", "view_changes"),
+    ("checkpoints", "extra.checkpoints_sent"),
+)
+
+
+def resolve_result_field(result: Mapping[str, object], field: str):
+    """Walk a dotted ``field`` path into a result dict; None when absent.
+
+    ``"extra.unavailability_seconds"`` resolves ``result["extra"][
+    "unavailability_seconds"]``; a missing segment (or a non-mapping in the
+    middle of the path) yields None rather than raising, so optional
+    metrics can be probed record by record.
+    """
+    value: object = result
+    for part in field.split("."):
+        if not isinstance(value, Mapping) or part not in value:
+            return None
+        value = value[part]
+    return value
+
 #: Percentile fields of a latency summary, in rendering order.
 PERCENTILE_FIELDS: Tuple[str, ...] = ("p50", "p95", "p99")
 
@@ -260,6 +288,21 @@ def aggregate_records(
             column: metric_stats([float(result[field]) for result in results])
             for column, field in scalar_metrics
         }
+        # Recovery metrics ride along only for fault-timeline runs: the
+        # watchdog's unavailability counter marks such records, and a group
+        # only gets a column when every replicate can supply a value.
+        if all(
+            resolve_result_field(result, "extra.unavailability_seconds") is not None
+            for result in results
+        ):
+            for column, field in RECOVERY_SCALAR_METRICS:
+                values = [resolve_result_field(result, field) for result in results]
+                if column not in metrics and all(
+                    value is not None for value in values
+                ):
+                    metrics[column] = metric_stats(
+                        [float(value) for value in values]  # type: ignore[arg-type]
+                    )
         points.append(
             SeriesPoint(
                 sweep=sweep,

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.report.aggregate import (
     DEFAULT_SCALAR_METRICS,
+    RECOVERY_SCALAR_METRICS,
     LatencyStats,
     MetricStats,
     SeriesPoint,
@@ -30,6 +31,13 @@ from repro.report.tables import format_value, markdown_rows
 #: sub-millisecond latency spreads.
 SCALAR_FORMAT = "{:,.1f}"
 LATENCY_FORMAT = "{:.4f}"
+
+#: Recovery-metric cell formats: the time-based watchdog metrics need
+#: millisecond precision; the counters stay in the scalar format.
+RECOVERY_FORMATS = {
+    "unavailability_s": "{:.3f}",
+    "recovery_ttr_s": "{:.3f}",
+}
 
 
 def format_error_bar(stats: MetricStats, float_format: str = SCALAR_FORMAT) -> str:
@@ -78,9 +86,17 @@ def render_sweep_section(name: str, points: Sequence[SeriesPoint]) -> str:
     if show_scenario:
         columns.append("scenario")
     metric_columns = [column for column, _field in DEFAULT_SCALAR_METRICS]
+    # Recovery columns appear only when some point in the section carries
+    # the watchdog metrics — fault-free sweeps render exactly as before.
+    recovery_columns = [
+        column
+        for column, _field in RECOVERY_SCALAR_METRICS
+        if any(column in point.metrics for point in points)
+    ]
     columns += (
         ["seeds"]
         + metric_columns
+        + recovery_columns
         + ["latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_p99_s"]
     )
 
@@ -94,6 +110,16 @@ def render_sweep_section(name: str, points: Sequence[SeriesPoint]) -> str:
         row.append(str(point.replicates))
         for column in metric_columns:
             row.append(format_error_bar(point.metrics[column]))
+        for column in recovery_columns:
+            if column in point.metrics:
+                row.append(
+                    format_error_bar(
+                        point.metrics[column],
+                        RECOVERY_FORMATS.get(column, SCALAR_FORMAT),
+                    )
+                )
+            else:
+                row.append("")
         row.append(format_latency_mean(point.latency))
         for spread in point.latency.spreads:
             row.append(format_spread(spread.low, spread.high, point.latency.seeds))

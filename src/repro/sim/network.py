@@ -130,6 +130,14 @@ class Network:
         # dynamically: the base-class empty-set short-circuit in send() only
         # applies to a plain NetworkFaultPlan.
         self._faults_subclassed = type(self._faults) is not NetworkFaultPlan
+        # Dynamic lifecycle faults (fault timelines): endpoints currently
+        # down and directed links currently cut.  Kept separate from the
+        # fault plan so crash/recover/partition-heal events can flip them
+        # mid-run without perturbing a scenario's static plan.  The boolean
+        # gate keeps the fault-free send() hot path to one falsy check.
+        self._down: Set[str] = set()
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self._lifecycle_faults = False
         self._endpoints: Dict[str, Endpoint] = {}
         self._messages_sent = 0
         self._messages_delivered = 0
@@ -174,6 +182,32 @@ class Network:
         except KeyError:
             raise SimulationError(f"unknown network endpoint {name!r}")
 
+    def set_endpoint_down(self, name: str, down: bool = True) -> None:
+        """Mark an endpoint down (crashed): all its traffic is dropped.
+
+        Unlike :meth:`unregister`, the endpoint stays registered — late
+        sends from its in-flight callbacks are silently dropped instead of
+        raising, and flipping it back up restores connectivity instantly.
+        """
+        if down:
+            self._down.add(name)
+        else:
+            self._down.discard(name)
+        self._lifecycle_faults = bool(self._down or self._cut_links)
+
+    def is_endpoint_down(self, name: str) -> bool:
+        return name in self._down
+
+    def cut_links(self, pairs) -> None:
+        """Cut the given directed ``(src, dst)`` links (dynamic partition)."""
+        self._cut_links.update(pairs)
+        self._lifecycle_faults = bool(self._down or self._cut_links)
+
+    def heal_links(self, pairs) -> None:
+        for pair in pairs:
+            self._cut_links.discard(pair)
+        self._lifecycle_faults = bool(self._down or self._cut_links)
+
     def send(self, src: str, dst: str, payload: Any, size_bytes: int = 0) -> None:
         """Send ``payload`` from ``src`` to ``dst`` applying the fault plan."""
         endpoints = self._endpoints
@@ -185,6 +219,11 @@ class Network:
         receiver = endpoints.get(dst)
         if receiver is None:
             # The destination crashed or was never registered: the message is lost.
+            self._messages_dropped += 1
+            return
+        if self._lifecycle_faults and (
+            src in self._down or dst in self._down or (src, dst) in self._cut_links
+        ):
             self._messages_dropped += 1
             return
         # Fault checks are gated on the plan actually being active: the

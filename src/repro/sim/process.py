@@ -42,6 +42,7 @@ class CpuResource:
         self._pending: Deque[Tuple[float, Callable[[], Any]]] = deque()
         self._busy_time = 0.0
         self._jobs_done = 0
+        self._speed_factor = 1.0
 
     @property
     def cores(self) -> int:
@@ -64,6 +65,20 @@ class CpuResource:
     def jobs_done(self) -> int:
         return self._jobs_done
 
+    @property
+    def speed_factor(self) -> float:
+        return self._speed_factor
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Stretch (>1) or restore (=1) service times of *future* submissions.
+
+        Used by fault timelines to model a degraded node.  Applied at submit
+        time only, so flipping the factor never reshuffles in-flight jobs.
+        """
+        if factor <= 0:
+            raise SimulationError("speed factor must be positive")
+        self._speed_factor = factor
+
     def utilisation(self, elapsed: float) -> float:
         """Average utilisation over ``elapsed`` seconds of virtual time."""
         if elapsed <= 0:
@@ -84,6 +99,8 @@ class CpuResource:
         if service_time == 0:
             on_done(*args)
             return
+        if self._speed_factor != 1.0:
+            service_time *= self._speed_factor
         if self._busy < self._cores:
             self._busy += 1
             self._busy_time += service_time

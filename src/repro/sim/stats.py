@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -135,6 +135,7 @@ class ThroughputRecorder:
         self._first_completion: Optional[float] = None
         self._last_completion: Optional[float] = None
         self._per_second: Dict[int, int] = {}
+        self._commit_listener: Optional[Callable[[float, int], None]] = None
 
     @property
     def completed(self) -> int:
@@ -144,7 +145,13 @@ class ThroughputRecorder:
     def aborted(self) -> int:
         return self._aborted
 
+    def set_commit_listener(self, listener: Optional[Callable[[float, int], None]]) -> None:
+        """Observe every commit, *including* warm-up ones (liveness watchdog)."""
+        self._commit_listener = listener
+
     def record_commit(self, time: float, count: int = 1) -> None:
+        if self._commit_listener is not None:
+            self._commit_listener(time, count)
         if time < self._warmup:
             return
         self._completed += count

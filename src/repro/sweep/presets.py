@@ -158,6 +158,39 @@ def fig8_offloading(
     )
 
 
+@register_sweep("chaos-drills")
+def chaos_drills(
+    duration: float = 2.5, warmup: float = 0.0, seed: int = 1
+) -> SweepSpec:
+    """Crash–recovery timelines x BFT/CFT shim: the fault-timeline presets
+    with checkpoint catch-up, view-change escalation, and the liveness
+    watchdog's recovery metrics (rendered as extra report columns).
+
+    No warmup: the watchdog's unavailability accounting covers the whole
+    run, and the fault events land in the first second.
+    """
+    return sweep_from_grid(
+        name="chaos-drills",
+        grid=GridSpec(
+            {
+                "system": ("serverless_bft", "serverless_cft"),
+                "scenario": (
+                    "primary-crash",
+                    "rolling-restart",
+                    "view-change-storm",
+                    "checkpoint-lag",
+                    "region-outage-heal",
+                ),
+            }
+        ),
+        config={"num_clients": 60, "client_groups": 4},
+        workload={"clients": 60},
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
 @register_sweep("scenario-drills")
 def scenario_drills(
     duration: float = 1.0, warmup: float = 0.2, seed: int = 1

@@ -20,7 +20,7 @@ simulated batch_size=25 ... (1.9s)`` lines).
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -143,6 +143,10 @@ class PointOutcome:
     #: Host-side cost split of a simulated point (setup_seconds /
     #: simulate_seconds / collect_seconds); None for cached/failed points.
     timing: Optional[Dict[str, float]] = None
+    #: Worker deaths this point survived (a point whose worker process dies
+    #: — as opposed to timing out or raising — is retried once on a fresh
+    #: pool before being recorded as failed).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -243,6 +247,22 @@ class SweepReport:
 
 # ------------------------------------------------------------------ execution
 
+#: Worker-death retries granted per point.
+WORKER_RETRY_LIMIT = 1
+
+
+def _should_retry(exc: BaseException, retries: int, limit: int = WORKER_RETRY_LIMIT) -> bool:
+    """Whether a failed point gets another attempt.
+
+    Only a *worker death* (the pool process vanished — OOM kill, segfault,
+    interpreter abort — surfacing as :class:`BrokenExecutor`) is retried: the
+    point itself may be perfectly fine and merely shared a pool with a
+    culprit, since a broken pool poisons every pending future.  A point that
+    *raised* is deterministic and would fail again; a stall timeout already
+    has its own budget semantics.
+    """
+    return isinstance(exc, BrokenExecutor) and retries < limit
+
 
 def _format_labels(point: PointSpec) -> str:
     if not point.labels:
@@ -341,6 +361,7 @@ def run_sweep(
                 outcome.result_dict,
                 sweep.name,
                 timing=outcome.timing,
+                retries=outcome.retries,
             )
         done += 1
         if progress is not None:
@@ -356,10 +377,19 @@ def run_sweep(
             if progress is not None:
                 progress(twin, done, total)
 
+    retry_queue: List[PointOutcome] = []
+
     def harvest(future, outcome: PointOutcome) -> None:
         try:
             outcome.result_dict, outcome.timing = future.result()
         except Exception as exc:  # worker died or raised
+            if _should_retry(exc, outcome.retries):
+                # Worker death: the point gets one more attempt on a fresh
+                # pool (the broken pool poisons every pending future, so
+                # innocent bystander points land here too).
+                outcome.retries += 1
+                retry_queue.append(outcome)
+                return
             outcome.error = f"{type(exc).__name__}: {exc}"
         if outcome.ok:
             outcome.wall_clock_seconds = float(
@@ -369,45 +399,68 @@ def run_sweep(
 
     if workers > 1 and executable:
         timed_out = False
+        task_scenarios = custom_scenarios()
+        task_systems = _custom_systems()
+
+        def drain(future_map) -> bool:
+            """Harvest one batch of futures; True if the stall budget hit.
+
+            Harvests in *completion* order so each finished point hits the
+            store immediately — an interrupted sweep keeps everything that
+            actually completed.  ``timeout`` is a stall budget: if no point
+            finishes within it, everything still running is declared failed.
+            """
+            remaining = set(future_map)
+            while remaining:
+                completed, remaining = wait(
+                    remaining, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not completed:
+                    for future in remaining:
+                        future.cancel()
+                        outcome = future_map[future]
+                        if future.done() and not future.cancelled():
+                            # Completed in the race window between wait()
+                            # returning empty and this loop: keep the result.
+                            harvest(future, outcome)
+                            continue
+                        outcome.error = f"no result within {timeout:g}s"
+                        outcome.wall_clock_seconds = float(timeout or 0.0)
+                        finish(outcome)
+                    return True
+                for future in completed:
+                    harvest(future, future_map[future])
+            return False
+
         # Warm worker pool: reused across run_sweep / run_replicates calls
         # in this process, so interpreter + import start-up is paid once.
         # Runtime-registered scenarios/systems ship with each task (a warm
         # pool may predate the registration).
         pool = get_shared_pool(workers)
-        task_scenarios = custom_scenarios()
-        task_systems = _custom_systems()
-        future_map = {
+        timed_out = drain({
             pool.submit(
                 _simulate_point_task, outcome.resolved, task_scenarios, task_systems
             ): outcome
             for outcome in executable
-        }
-        # Harvest in *completion* order so each finished point hits the
-        # store immediately — an interrupted sweep keeps everything that
-        # actually completed.  ``timeout`` is a stall budget: if no point
-        # finishes within it, everything still running is declared failed.
-        remaining = set(future_map)
-        while remaining:
-            completed, remaining = wait(
-                remaining, timeout=timeout, return_when=FIRST_COMPLETED
-            )
-            if not completed:
-                timed_out = True
-                for future in remaining:
-                    future.cancel()
-                    outcome = future_map[future]
-                    if future.done() and not future.cancelled():
-                        # Completed in the race window between wait()
-                        # returning empty and this loop: keep the result.
-                        harvest(future, outcome)
-                        continue
-                    outcome.error = f"no result within {timeout:g}s"
-                    outcome.wall_clock_seconds = float(timeout or 0.0)
-                    finish(outcome)
-                remaining = set()
-                break
-            for future in completed:
-                harvest(future, future_map[future])
+        })
+        if retry_queue and not timed_out:
+            # A worker died: the shared pool is broken.  Terminate it, spawn
+            # a fresh one, and re-run each affected point once (a second
+            # death fails the point for good — ``retries`` caps re-queueing).
+            discard_shared_pool(terminate=True)
+            pool = get_shared_pool(workers)
+            retries, retry_queue = retry_queue, []
+            timed_out = drain({
+                pool.submit(
+                    _simulate_point_task, outcome.resolved, task_scenarios, task_systems
+                ): outcome
+                for outcome in retries
+            })
+        for outcome in retry_queue:
+            # Retry was cut short by a stall timeout (or a second death):
+            # close the point out as failed rather than leaving it silent.
+            outcome.error = "worker died and retry did not complete"
+            finish(outcome)
         if timed_out:
             # A timed-out worker is still executing its point and a plain
             # shutdown would block on it indefinitely; kill the pool's

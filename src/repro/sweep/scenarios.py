@@ -23,7 +23,6 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.faults.byzantine import (
-    CrashBehaviour,
     DelaySpawningBehaviour,
     DuplicateSpawningBehaviour,
     DuplicateVerifyBehaviour,
@@ -164,11 +163,6 @@ def _silent_executor_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]
     }
 
 
-def _shim_crash_kwargs(resolved: Mapping[str, object]) -> Dict[str, object]:
-    shim_nodes = int(resolved["config"]["shim_nodes"])  # type: ignore[index]
-    return {"node_behaviours": {f"node-{shim_nodes - 1}": CrashBehaviour()}}
-
-
 # The byzantine-attack *node* drills (Section V/VI).  Behaviour objects are
 # built fresh in the executing process by the factories below, so only the
 # scenario name travels through specs and digests — which is what makes the
@@ -245,8 +239,15 @@ register_scenario(Scenario(
 ))
 register_scenario(Scenario(
     name="shim-crash",
-    description="The last shim node is crashed (omission failures) throughout.",
-    runner_kwargs_factory=_shim_crash_kwargs,
+    description="The last shim node is crashed throughout (alias of node-crash at t=0).",
+    config_overrides={"fault_timeline": "crash:last@0"},
+))
+register_scenario(Scenario(
+    name="node-crash",
+    description="Crash one node mid-run (which/when via the fault_timeline knob).",
+    # The generalised form of shim-crash: override fault_timeline to pick the
+    # node (literal name, 'primary', or 'last') and the crash/recover times.
+    config_overrides={"fault_timeline": "crash:last@0.3"},
 ))
 register_scenario(Scenario(
     name="request-suppression",
@@ -276,6 +277,62 @@ register_scenario(Scenario(
     name="verify-flooding",
     description="The first executor of every batch floods the verifier with duplicate VERIFYs.",
     runner_kwargs_factory=_verify_flooding_kwargs,
+))
+# Crash–recovery drills (the paper's availability story, Sections V-A4/V-B):
+# dynamic fault timelines drive real node lifecycle — crash, checkpoint-based
+# catch-up on recovery, view-change escalation.  All use the aggressive
+# detection timers so fault, view change, and recovery fit in a short run.
+register_scenario(Scenario(
+    name="primary-crash",
+    description="Primary crashes at 0.3s and recovers at 1.2s; view change carries the run.",
+    config_overrides={
+        **_ATTACK_TIMERS,
+        "fault_timeline": "crash:primary@0.3;recover:primary@1.2",
+        "checkpoint_interval": 16,
+    },
+))
+register_scenario(Scenario(
+    name="rolling-restart",
+    description="Each shim node of the 4-node scale crashes and restarts in turn.",
+    config_overrides={
+        **_ATTACK_TIMERS,
+        "fault_timeline": (
+            "crash:node-0@0.2;recover:node-0@0.6;"
+            "crash:node-1@0.7;recover:node-1@1.1;"
+            "crash:node-2@1.2;recover:node-2@1.6;"
+            "crash:node-3@1.7;recover:node-3@2.1"
+        ),
+        "checkpoint_interval": 8,
+    },
+))
+register_scenario(Scenario(
+    name="view-change-storm",
+    description="Two consecutive primaries crash; view change must escalate past v+1.",
+    config_overrides={
+        **_ATTACK_TIMERS,
+        "fault_timeline": (
+            "crash:node-0@0.2;crash:node-1@0.35;"
+            "recover:node-0@1.4;recover:node-1@1.6"
+        ),
+        "checkpoint_interval": 16,
+    },
+))
+register_scenario(Scenario(
+    name="checkpoint-lag",
+    description="A node sleeps through many commits and catches up from stable checkpoints.",
+    config_overrides={
+        **_ATTACK_TIMERS,
+        "fault_timeline": "crash:last@0.15;recover:last@0.9",
+        "checkpoint_interval": 4,
+    },
+))
+register_scenario(Scenario(
+    name="region-outage-heal",
+    description="The last shim node is isolated from everyone at 0.3s; the partition heals at 0.9s.",
+    config_overrides={
+        **_ATTACK_TIMERS,
+        "fault_timeline": "partition:last@0.3-0.9",
+    },
 ))
 register_scenario(Scenario(
     name="skewed-ycsb",

@@ -101,6 +101,7 @@ class ResultStore:
         result: Mapping[str, object],
         sweep_name: str = "",
         timing: Optional[Mapping[str, float]] = None,
+        retries: int = 0,
     ) -> dict:
         """Record one finished point: append, flush, and fsync.
 
@@ -109,7 +110,9 @@ class ResultStore:
         reported as cached for the next run.  ``timing`` (optional) records
         the host-side setup/simulate/collect split of the run that produced
         the result, so per-point overhead — and what warm worker pools
-        amortise away — stays measurable from the store alone.
+        amortise away — stays measurable from the store alone.  ``retries``
+        (recorded only when nonzero) counts worker deaths the point survived
+        before producing this result.
         """
         record = {
             "digest": digest,
@@ -121,6 +124,8 @@ class ResultStore:
         }
         if timing is not None:
             record["timing"] = dict(timing)
+        if retries:
+            record["retries"] = int(retries)
         directory = os.path.dirname(self._path)
         if directory:
             os.makedirs(directory, exist_ok=True)

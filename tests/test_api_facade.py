@@ -156,10 +156,10 @@ def test_direct_fault_knobs_merge_with_scenarios_on_disjoint_nodes():
     from repro.api import build_deployment
     from repro.faults.byzantine import CrashBehaviour
 
-    # shim-crash crashes the *last* node (node-3 at the 4-node scale); the
-    # spec adds a behaviour for node-0 — disjoint, so the dicts merge.
+    # request-suppression attaches a behaviour to node-0; the spec adds one
+    # for node-3 — disjoint, so the dicts merge.
     spec = _spec(
-        scenarios=["shim-crash"], node_behaviours={"node-0": CrashBehaviour()}
+        scenarios=["request-suppression"], node_behaviours={"node-3": CrashBehaviour()}
     )
     deployment = build_deployment(
         resolve(spec), extra_runner_kwargs=spec.direct_runner_kwargs()
@@ -170,7 +170,7 @@ def test_direct_fault_knobs_merge_with_scenarios_on_disjoint_nodes():
     assert behaviours == {"node-0", "node-3"}
     # The same node from both sources is a conflict.
     clashing = _spec(
-        scenarios=["shim-crash"], node_behaviours={"node-3": CrashBehaviour()}
+        scenarios=["request-suppression"], node_behaviours={"node-0": CrashBehaviour()}
     )
     with pytest.raises(ScenarioConflictError):
         build_deployment(

@@ -59,7 +59,13 @@ class _Transport(ReplicaTransport):
 class Cluster:
     """A shim of PBFT replicas connected by an in-memory network."""
 
-    def __init__(self, n: int = 4, request_timeout: float = 1.0, behaviours=None) -> None:
+    def __init__(
+        self,
+        n: int = 4,
+        request_timeout: float = 1.0,
+        behaviours=None,
+        checkpoint_interval: int = 1000,
+    ) -> None:
         self.sim = Simulator()
         self.keystore = KeyStore()
         self.names = [f"node-{index}" for index in range(n)]
@@ -71,7 +77,10 @@ class Cluster:
             self.replicas[name] = PBFTReplica(
                 replica_id=name,
                 replicas=self.names,
-                config=PBFTConfig(request_timeout=request_timeout, checkpoint_interval=1000),
+                config=PBFTConfig(
+                    request_timeout=request_timeout,
+                    checkpoint_interval=checkpoint_interval,
+                ),
                 transport=_Transport(self, name),
                 signer=SignatureService(self.keystore, name),
                 cost_model=CryptoCostModel(),

@@ -1,0 +1,204 @@
+"""View-change and crash-recovery coverage for the PBFT engine.
+
+The four classic triggers of the view-change path — equivocation,
+request timeout, the f+1 joining rule, and NEW-VIEW installation with
+prepared-certificate carryover — plus the escalation and
+checkpoint-based catch-up machinery the fault-timeline engine leans on.
+Uses the in-memory :class:`~tests.test_pbft.Cluster` harness, so the
+protocol runs exactly as inside shim nodes but without the serverless
+machinery.
+"""
+
+from repro.consensus.messages import PrePrepareMsg
+from repro.crypto.hashing import digest as H
+from tests.test_pbft import Cluster
+
+
+# ------------------------------------------------------------------ triggers
+
+
+def test_equivocating_preprepares_trigger_view_change():
+    cluster = Cluster(request_timeout=0.2)
+    msg_a = PrePrepareMsg(view=0, seq=1, digest=H("batch-A"), batch="batch-A")
+    msg_b = PrePrepareMsg(view=0, seq=1, digest=H("batch-B"), batch="batch-B")
+    # Two replicas each see both conflicting PREPREPAREs for the same slot:
+    # each detects the equivocation directly and requests a view change;
+    # together they are f+1, so the rest of the cluster joins.
+    for name in ("node-1", "node-2"):
+        cluster.replicas[name].on_preprepare(msg_a, "node-0")
+        cluster.replicas[name].on_preprepare(msg_b, "node-0")
+    cluster.run(until=3.0)
+    for name in cluster.names[1:]:
+        assert cluster.replicas[name].view >= 1
+        assert cluster.replicas[name].primary != "node-0"
+
+
+def test_request_timeout_triggers_view_change():
+    cluster = Cluster(request_timeout=0.2)
+    # The primary crashes right after PREPREPARE reaches two replicas: they
+    # can never gather 2f+1 PREPAREs, their request timers fire, and the
+    # resulting pair of VIEWCHANGEs (f+1) pulls the third replica along.
+    for name in cluster.names[1:]:
+        cluster.block("node-0", name)
+    preprepare = PrePrepareMsg(view=0, seq=1, digest=H("stalled"), batch="stalled")
+    for name in ("node-1", "node-2"):
+        cluster.replicas[name].on_preprepare(preprepare, "node-0")
+    cluster.run(until=3.0)
+    for name in cluster.names[1:]:
+        assert cluster.replicas[name].view >= 1
+    # Nothing committed in the dead view at that slot's original digest.
+    assert all(
+        entry.digest != H("stalled") or entry.seq != 1
+        for entries in cluster.committed.values()
+        for entry in entries
+    ) or cluster.replicas["node-1"].view >= 1
+
+
+def test_f_plus_one_viewchange_requests_amplify_to_quorum():
+    cluster = Cluster(request_timeout=10.0)
+    # Only two replicas (exactly f+1 for n=4) time out; neither the new
+    # primary nor node-0 saw any fault.  Seeing f+1 requests is proof an
+    # honest node timed out, so the others join and the quorum completes.
+    cluster.replicas["node-2"].request_view_change(reason="test-timeout")
+    cluster.replicas["node-3"].request_view_change(reason="test-timeout")
+    cluster.run(until=2.0)
+    for name in cluster.names:
+        assert cluster.replicas[name].view == 1
+        assert cluster.replicas[name].primary == "node-1"
+
+
+def test_single_viewchange_request_does_not_amplify():
+    cluster = Cluster(request_timeout=10.0)
+    cluster.replicas["node-3"].request_view_change(reason="lonely")
+    cluster.run(until=2.0)
+    # One request is below the f+1 joining threshold: nobody follows.
+    assert all(replica.view == 0 for replica in cluster.replicas.values())
+
+
+# ------------------------------------------------------------------ NEW-VIEW
+
+
+def test_new_view_carries_prepared_certificates_forward():
+    cluster = Cluster(request_timeout=10.0)
+    # Slot 1 reached the prepared state (PREPREPARE + 2f PREPAREs) just
+    # before the view change — the quorum's VIEWCHANGE messages must carry
+    # it into the new view, where the new primary re-proposes it.
+    for name in ("node-1", "node-2", "node-3"):
+        slot = cluster.replicas[name].log.slot(1)
+        slot.view = 0
+        slot.digest = H("carried-batch")
+        slot.batch = "carried-batch"
+        slot.preprepared = True
+        slot.prepared = True
+    cluster.replicas["node-2"].request_view_change(reason="test")
+    cluster.replicas["node-3"].request_view_change(reason="test")
+    cluster.run(until=3.0)
+    for name in cluster.names:
+        assert cluster.replicas[name].view == 1
+        entries = [entry for entry in cluster.committed[name] if entry.seq == 1]
+        assert len(entries) == 1
+        assert entries[0].batch == "carried-batch"
+        assert entries[0].view == 1
+
+
+# ------------------------------------------------------------------ escalation
+
+
+def test_escalation_skips_two_consecutive_crashed_primaries():
+    # n=7 tolerates f=2 faults.  The current primary and the *next* one in
+    # the rotation both crash: view 1 can never install (its primary is
+    # dead), so the escalation timer must push the survivors past it to
+    # view 2 with exponential backoff instead of stalling at v+1 forever.
+    cluster = Cluster(n=7, request_timeout=0.2)
+    cluster.replicas["node-0"].crash()
+    cluster.replicas["node-1"].crash()
+    for name in cluster.names[2:]:
+        cluster.replicas[name].request_view_change(reason="primary-dead")
+    cluster.run(until=5.0)
+    for name in cluster.names[2:]:
+        assert cluster.replicas[name].view >= 2
+        assert cluster.replicas[name].primary == "node-2"
+    # Liveness is actually restored: the new primary can commit.
+    cluster.replicas["node-2"].propose("after-escalation")
+    cluster.run(until=7.0)
+    for name in cluster.names[2:]:
+        assert any(
+            entry.batch == "after-escalation" for entry in cluster.committed[name]
+        )
+
+
+# ------------------------------------------------------------------ recovery
+
+
+def test_checkpoint_truncation_bounds_log_memory():
+    cluster = Cluster(checkpoint_interval=2)
+    for index in range(20):
+        cluster.primary().propose(f"batch-{index}")
+    cluster.run(until=5.0)
+    for name in cluster.names:
+        log = cluster.replicas[name].log
+        assert log.max_committed_seq() == 20
+        # The 2f+1 checkpoint quorum advanced the stable watermark, and
+        # truncation dropped everything at or below it.
+        assert log.stable_seq >= 18
+        assert log.retained_commits <= 4
+        assert log.slot_count <= 4
+
+
+def test_crashed_replica_catches_up_from_checkpoint_request():
+    cluster = Cluster(request_timeout=50.0)
+    for index in range(5):
+        cluster.primary().propose(f"early-{index}")
+    cluster.run(until=1.0)
+    cluster.replicas["node-3"].crash()
+    assert cluster.replicas["node-3"].log.max_committed_seq() == 0  # volatile state lost
+    for index in range(5):
+        cluster.primary().propose(f"late-{index}")
+    cluster.run(until=2.0)
+    assert cluster.replicas["node-1"].log.max_committed_seq() == 10
+    cluster.replicas["node-3"].recover()
+    cluster.run(until=3.0)
+    recovered = cluster.replicas["node-3"]
+    assert recovered.log.max_committed_seq() == 10
+    assert recovered.checkpoints_adopted >= 1
+
+
+def test_recovery_skips_ahead_past_truncated_prefix():
+    # Aggressive checkpointing truncates the peers' logs, so the oldest
+    # certificates are gone everywhere: the recovering node cannot replay
+    # them and must adopt the f+1-vouched stable watermark instead.
+    cluster = Cluster(request_timeout=50.0, checkpoint_interval=2)
+    for index in range(10):
+        cluster.primary().propose(f"early-{index}")
+    cluster.run(until=1.0)
+    assert cluster.replicas["node-1"].log.stable_seq >= 8
+    cluster.replicas["node-3"].crash()
+    for index in range(4):
+        cluster.primary().propose(f"late-{index}")
+    cluster.run(until=2.0)
+    cluster.replicas["node-3"].recover()
+    cluster.run(until=3.0)
+    recovered = cluster.replicas["node-3"]
+    assert recovered.log.stable_seq >= 8
+    assert recovered.log.max_committed_seq() == 14
+    # Memory stays bounded after catch-up too.
+    assert recovered.log.slot_count <= 6
+
+
+def test_recovered_replica_relearns_view_from_peers():
+    cluster = Cluster(request_timeout=10.0)
+    # Move the live cluster to view 1 while node-3 participates normally.
+    cluster.replicas["node-1"].request_view_change(reason="test")
+    cluster.replicas["node-2"].request_view_change(reason="test")
+    cluster.run(until=1.0)
+    assert cluster.replicas["node-2"].view == 1
+    # node-3 crashes (view resets to 0 — it is volatile) and recovers: the
+    # f+1 rule over checkpoint replies re-teaches it the installed view.
+    cluster.replicas["node-3"].crash()
+    assert cluster.replicas["node-3"].view == 0
+    cluster.primary()  # keep rotation bookkeeping exercised
+    cluster.replicas["node-3"].recover()
+    cluster.replicas["node-1"].propose("post-crash")
+    cluster.run(until=3.0)
+    assert cluster.replicas["node-3"].view == 1
+    assert cluster.replicas["node-3"].primary == "node-1"

@@ -252,6 +252,58 @@ def test_render_single_run_has_no_error_bars(tmp_path):
     assert "–" not in data_rows[0]  # no spread for a single seed either
 
 
+def test_recovery_metrics_aggregate_only_when_present():
+    plain = fake_record("d-plain", labels={"batch_size": 5})
+    fault = fake_record("d-fault", labels={"batch_size": 25})
+    fault["result"]["view_changes"] = 3
+    fault["result"]["extra"] = {
+        "unavailability_seconds": 1.25,
+        "time_to_recovery_seconds": 0.4,
+        "checkpoints_sent": 7,
+    }
+    points = aggregate_records([plain, fault])
+    by_batch = {point.label("batch_size"): point for point in points}
+    assert "unavailability_s" not in by_batch[5].metrics
+    assert by_batch[25].metrics["unavailability_s"].mean == pytest.approx(1.25)
+    assert by_batch[25].metrics["recovery_ttr_s"].mean == pytest.approx(0.4)
+    assert by_batch[25].metrics["view_changes"].mean == pytest.approx(3.0)
+    assert by_batch[25].metrics["checkpoints"].mean == pytest.approx(7.0)
+
+
+def test_render_recovery_columns_only_for_fault_runs(tmp_path):
+    # A store with no fault-timeline records renders exactly as before...
+    plain_store = ResultStore(str(tmp_path / "plain.jsonl"))
+    plain = fake_record("d-plain", labels={"batch_size": 5})
+    plain_store.put("d-plain", {"labels": plain["labels"],
+                                "system": "serverless_bft",
+                                "scenario": "baseline"},
+                    plain["result"], sweep_name="chaos")
+    assert "unavailability_s" not in render_markdown(plain_store)
+    # ...while a fault run adds the watchdog columns, and rows without the
+    # metrics render empty cells.
+    store = ResultStore(str(tmp_path / "chaos.jsonl"))
+    store.put("d-plain", {"labels": plain["labels"],
+                          "system": "serverless_bft",
+                          "scenario": "baseline"},
+              plain["result"], sweep_name="chaos")
+    fault = fake_record("d-fault", labels={"batch_size": 25})
+    fault["result"]["extra"] = {
+        "unavailability_seconds": 1.25,
+        "time_to_recovery_seconds": 0.4,
+        "checkpoints_sent": 7,
+    }
+    store.put("d-fault", {"labels": fault["labels"],
+                          "system": "serverless_bft",
+                          "scenario": "primary-crash"},
+              fault["result"], sweep_name="chaos")
+    document = render_markdown(store)
+    assert "unavailability_s" in document and "recovery_ttr_s" in document
+    fault_rows = [line for line in document.splitlines() if line.startswith("| 25 |")]
+    assert len(fault_rows) == 1 and "1.250" in fault_rows[0]
+    plain_rows = [line for line in document.splitlines() if line.startswith("| 5 |")]
+    assert len(plain_rows) == 1 and "|  |" in plain_rows[0]
+
+
 def test_markdown_table_renders_experiment_table():
     from repro.bench.harness import ExperimentTable
 

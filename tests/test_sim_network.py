@@ -139,3 +139,38 @@ def test_bytes_accounted():
     network.send("a", "b", "y", size_bytes=250)
     sim.run_until_idle()
     assert network.bytes_sent == 350
+
+
+def test_down_endpoint_drops_both_directions_silently():
+    sim, network = build_network()
+    received = []
+    network.register("a", "r", lambda msg, sender: received.append(msg))
+    network.register("b", "r", lambda msg, sender: received.append(msg))
+    network.set_endpoint_down("b")
+    assert network.is_endpoint_down("b")
+    network.send("a", "b", "to-down")  # into the crashed node
+    network.send("b", "a", "from-down")  # late send out of it
+    sim.run_until_idle()
+    assert received == []
+    assert network.messages_dropped == 2
+    network.set_endpoint_down("b", down=False)
+    network.send("a", "b", "after-recovery")
+    sim.run_until_idle()
+    assert received == ["after-recovery"]
+
+
+def test_cut_links_are_directed_and_healable():
+    sim, network = build_network()
+    received = []
+    network.register("a", "r", lambda msg, sender: received.append((msg, sender)))
+    network.register("b", "r", lambda msg, sender: received.append((msg, sender)))
+    network.cut_links([("a", "b")])
+    network.send("a", "b", "cut")  # severed direction
+    network.send("b", "a", "open")  # reverse stays open
+    sim.run_until_idle()
+    assert received == [("open", "b")]
+    assert network.messages_dropped == 1
+    network.heal_links([("a", "b")])
+    network.send("a", "b", "healed")
+    sim.run_until_idle()
+    assert ("healed", "a") in received

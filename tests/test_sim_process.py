@@ -123,3 +123,25 @@ def test_set_timer_is_cancellable():
     timer.cancel()
     sim.run_until_idle()
     assert hits == []
+
+
+def test_speed_factor_stretches_service_time():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    done = []
+    cpu.set_speed_factor(3.0)
+    assert cpu.speed_factor == 3.0
+    cpu.submit(0.1, lambda: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [pytest.approx(0.3)]
+    # Restoring full speed affects only jobs submitted afterwards.
+    cpu.set_speed_factor(1.0)
+    cpu.submit(0.1, lambda: done.append(sim.now))
+    sim.run_until_idle()
+    assert done[-1] == pytest.approx(0.4)
+
+
+def test_speed_factor_must_be_positive():
+    cpu = CpuResource(Simulator(), cores=1)
+    with pytest.raises(SimulationError):
+        cpu.set_speed_factor(0.0)
