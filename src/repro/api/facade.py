@@ -206,11 +206,12 @@ def run_replicates(
     a stall budget like ``run_sweep``'s: if no replicate completes within
     it, the pool's workers are killed, the pool is discarded, and a
     ``TimeoutError`` is raised (finished replicates are already persisted
-    to the store).  Specs carrying bespoke fault objects — or
-    ``tracer_enabled`` — are rejected on this path: fault objects are
-    neither addressable nor shipped to workers (register a scenario preset
-    instead), and workers build untraced deployments, so honouring the
-    tracer flag silently would diverge from the serial path.
+    to the store).  Specs carrying bespoke fault objects are rejected on
+    this path: fault objects are neither addressable nor shipped to workers
+    (register a scenario preset instead).  ``tracer_enabled`` *is* honoured:
+    workers build traced deployments and the flight-recorder payload rides
+    home inside each result dict (``SimulationResult.obs``), so parallel
+    trace collection is bit-identical to the serial path.
     """
     if isinstance(store, str):
         # Load the JSONL file once for the whole family, not once per
@@ -227,11 +228,6 @@ def run_replicates(
             "run_replicates(workers>1) cannot ship bespoke fault objects to "
             "pool workers; register the faults as a scenario preset and name "
             "it in RunSpec.scenarios instead"
-        )
-    if spec.tracer_enabled:
-        raise ConfigurationError(
-            "run_replicates(workers>1) builds untraced deployments in pool "
-            "workers; run with workers=0 to keep tracer_enabled=True"
         )
     from concurrent.futures import wait
     from repro.api.registry import custom_systems
@@ -266,6 +262,7 @@ def run_replicates(
                 resolved_list[index],
                 task_scenarios,
                 task_systems,
+                spec.tracer_enabled,
             ): index
             for index in pending
         }

@@ -18,6 +18,7 @@ the primary replies to the clients.  This baseline is used for:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -33,6 +34,7 @@ from repro.crypto.keys import KeyStore
 from repro.crypto.signatures import SignatureService
 from repro.errors import ConfigurationError
 from repro.faults.byzantine import NodeBehaviour
+from repro.obs.context import ObsContext
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.process import CpuResource, SimProcess
@@ -73,6 +75,7 @@ class ReplicatedNode(SimProcess):
         throughput: Optional[ThroughputRecorder] = None,
         behaviour: Optional[NodeBehaviour] = None,
         tracer: Optional[Tracer] = None,
+        obs=None,
         batch_flush_timeout: float = 0.02,
     ) -> None:
         super().__init__(sim, name, region, cores=config.shim_cores)
@@ -83,6 +86,7 @@ class ReplicatedNode(SimProcess):
         self._per_operation_cost = per_operation_cost
         self._throughput = throughput
         self._tracer = tracer
+        self._obs = obs
         self._behaviour = behaviour
         self._batch_flush_timeout = batch_flush_timeout
 
@@ -108,6 +112,7 @@ class ReplicatedNode(SimProcess):
             host=self,
             on_committed=self._on_committed,
             tracer=tracer,
+            obs=obs,
             behaviour=behaviour,
         )
 
@@ -190,6 +195,8 @@ class ReplicatedNode(SimProcess):
         if entry.batch is None:
             return
         batch: TransactionBatch = entry.batch
+        if self._obs is not None:
+            self._obs.begin_span("execute", entry.seq, self.now, self.name)
         duration = batch.execution_seconds + self._per_operation_cost * sum(
             len(txn.operations) for txn in batch.transactions
         )
@@ -208,6 +215,8 @@ class ReplicatedNode(SimProcess):
         self._executed_txns += len(batch)
         if self._tracer is not None:
             self._tracer.record(self.now, "replicated.executed", self.name, seq=entry.seq)
+        if self._obs is not None:
+            self._obs.end_span("execute", entry.seq, self.now)
         if not self.is_primary:
             return
         if self._throughput is not None:
@@ -255,7 +264,13 @@ class PBFTReplicatedSimulation:
         self.sim = Simulator()
         self.rng = DeterministicRNG(config.seed)
         self.catalog = RegionCatalog()
-        self.tracer = Tracer(enabled=tracer_enabled)
+        self.obs = ObsContext(enabled=tracer_enabled)
+        self.tracer = self.obs.tracer
+        # Mirror the serverless runner's None-gating: disabled observability
+        # must leave the components without a single new branch on the hot
+        # path, so they only ever see a tracer/obs handle when it is live.
+        component_tracer = self.tracer if tracer_enabled else None
+        component_obs = self.obs.component()
         self.network = Network(self.sim, GeoLatencyModel(self.catalog), self.rng.child("network"))
         self.keystore = KeyStore(deployment_secret=f"replicated-{config.seed}")
         self.cost_model = CostModel()
@@ -276,7 +291,8 @@ class PBFTReplicatedSimulation:
                 execution_threads=execution_threads,
                 throughput=self.throughput,
                 behaviour=node_behaviours.get(name),
-                tracer=self.tracer,
+                tracer=component_tracer,
+                obs=component_obs,
             )
             for name in shim_names
         ]
@@ -297,7 +313,8 @@ class PBFTReplicatedSimulation:
                 verifier_name=shim_names[0],
                 client_timeout=config.client_timeout,
                 latency_recorder=self.latency,
-                tracer=self.tracer,
+                tracer=component_tracer,
+                obs=component_obs,
                 client_index_offset=index * group_size,
             )
             self.clients.append(group)
@@ -312,7 +329,10 @@ class PBFTReplicatedSimulation:
         for index, group in enumerate(self.clients):
             group._stop_time = duration
             self.sim.schedule(index * 0.001, group.start)
+        self.obs.on_run_start()
+        started = time.perf_counter()
         self.sim.run(until=duration)
+        wall_clock = time.perf_counter() - started
         window = max(1e-9, duration - warmup)
         committed = self.throughput.completed
         # Edge-only deployment: only the shim VMs are billed.
@@ -323,7 +343,7 @@ class PBFTReplicatedSimulation:
             duration_seconds=duration,
         )
         billing = self.cost_model.report
-        return SimulationResult(
+        result = SimulationResult(
             duration=duration,
             warmup=warmup,
             committed_txns=committed,
@@ -343,4 +363,9 @@ class PBFTReplicatedSimulation:
             bytes_sent=self.network.bytes_sent,
             billing=billing,
             cents_per_kilo_txn=billing.cents_per_kilo_txn(committed),
+            wall_clock_seconds=wall_clock,
+            events_processed=self.sim.events_processed,
         )
+        if self.obs.enabled:
+            result.obs = self.obs.finalize(duration, extra=result.extra)
+        return result

@@ -116,6 +116,7 @@ def simulate_point(
     the simulator's performance trajectory alongside the simulated metrics.
     """
     from repro.api.facade import build_system  # bench sits above the facade
+    from repro.perf import PERF
 
     simulation = build_system(
         system,
@@ -125,11 +126,18 @@ def simulate_point(
         tracer_enabled=False,
         **runner_kwargs,
     )
+    # Snapshot/delta discipline instead of PERF.reset(): the point's own
+    # counter activity is reported without clobbering whatever the process
+    # accumulated before (back-to-back points each see only their own work).
+    perf_baseline = PERF.snapshot()
     result = simulation.run(duration=duration, warmup=warmup)
     if report_perf:
+        delta = PERF.delta_since(perf_baseline)
+        fast = delta.get("events_scheduled_fast", 0)
         print(
             f"[perf] simulate_point: wall_clock={result.wall_clock_seconds:.3f}s "
             f"events={result.events_processed:,} "
-            f"events/sec={result.events_per_second:,.0f}"
+            f"events/sec={result.events_per_second:,.0f} "
+            f"fast_scheduled={fast:,}"
         )
     return result

@@ -62,6 +62,7 @@ class PaxosReplica:
         host,
         on_committed: Callable[[CommittedEntry], None],
         tracer=None,
+        obs=None,
     ) -> None:
         if replica_id not in replicas:
             raise ProtocolViolation(f"replica {replica_id!r} is not part of the shim {replicas}")
@@ -75,6 +76,7 @@ class PaxosReplica:
         self._host = host
         self._on_committed = on_committed
         self._tracer = tracer
+        self._obs = obs
 
         self._ballot = 0
         self._next_seq = 0
@@ -135,6 +137,8 @@ class PaxosReplica:
             self._id,
         )
         self._trace("paxos.propose", seq=seq)
+        if self._obs is not None:
+            self._obs.begin_span("consensus", seq, self._host.now, self._id)
         return seq
 
     def handle(self, message: Any, sender: str) -> bool:
@@ -209,6 +213,8 @@ class PaxosReplica:
         )
         self._log.record_commit(entry)
         self._trace("paxos.committed", seq=seq)
+        if self._obs is not None:
+            self._obs.end_span("consensus", seq, self._host.now)
         self._on_committed(entry)
 
     def _trace(self, category: str, **details) -> None:

@@ -89,6 +89,7 @@ class PBFTReplica:
         on_committed: Callable[[CommittedEntry], None],
         on_view_installed: Optional[Callable[[int, str], None]] = None,
         tracer=None,
+        obs=None,
         behaviour=None,
     ) -> None:
         if replica_id not in replicas:
@@ -106,6 +107,7 @@ class PBFTReplica:
         self._on_committed = on_committed
         self._on_view_installed = on_view_installed
         self._tracer = tracer
+        self._obs = obs
         self._behaviour = behaviour
 
         self._view = 0
@@ -217,6 +219,8 @@ class PBFTReplica:
         cost = self._costs.hash_cost(PREPREPARE_BYTES) + self._costs.mac_sign * len(targets)
         self._host.process(cost, self._emit_preprepare, message, targets, equivocation)
         self._trace("pbft.propose", seq=seq, digest=batch_digest)
+        if self._obs is not None:
+            self._obs.begin_span("consensus", seq, self._host.now, self._id)
         return seq
 
     def _emit_preprepare(self, message: PrePrepareMsg, targets: List[str], equivocation) -> None:
@@ -369,6 +373,8 @@ class PBFTReplica:
             )
             self._log.record_commit(entry)
             self._trace("pbft.committed", seq=message.seq, digest=message.digest)
+            if self._obs is not None:
+                self._obs.end_span("consensus", message.seq, self._host.now)
             self._maybe_checkpoint(message.seq)
             self._on_committed(entry)
 
@@ -421,6 +427,8 @@ class PBFTReplica:
         )
         seed_cached_digest(message, signature.message_digest)
         self._trace("pbft.viewchange_requested", new_view=new_view, reason=reason)
+        if self._obs is not None:
+            self._obs.begin_span("view_change", new_view, self._host.now, self._id)
         self._host.process(
             self._costs.ds_sign,
             self._broadcast_message, message, message.size_bytes,
@@ -550,6 +558,8 @@ class PBFTReplica:
         }
         self._next_seq = max(self._next_seq, self._log.max_committed_seq())
         self._trace("pbft.view_installed", view=new_view, primary=self.primary)
+        if self._obs is not None:
+            self._obs.end_span("view_change", new_view, self._host.now)
         if self._on_view_installed is not None:
             self._on_view_installed(new_view, self.primary)
 
@@ -655,6 +665,8 @@ class PBFTReplica:
             if len(self._recovery_responders) > self._f:
                 self._catching_up = False
                 self._trace("pbft.recovery_caught_up", up_to=self._log.max_committed_seq())
+                if self._obs is not None:
+                    self._obs.end_span("recovery", self._id, self._host.now)
         self._maybe_adopt_peer_view()
         adopted = 0
         verification_cost = 0.0
@@ -801,6 +813,8 @@ class PBFTReplica:
         self._recovery_responders = set()
         request = CheckpointRequestMsg(replica=self._id, low_seq=self._log.max_committed_seq())
         self._trace("pbft.recovery_requested", low_seq=request.low_seq)
+        if self._obs is not None:
+            self._obs.begin_span("recovery", self._id, self._host.now, self._id)
         self._host.process(
             self._costs.mac_sign * max(1, self._n - 1),
             self._broadcast_message, request, request.size_bytes,

@@ -66,6 +66,7 @@ class ClientGroup(SimProcess):
         stop_time: Optional[float] = None,
         latency_recorder: Optional[LatencyRecorder] = None,
         tracer: Optional[Tracer] = None,
+        obs=None,
         client_index_offset: int = 0,
     ) -> None:
         super().__init__(sim, name, region, cores=None)
@@ -80,6 +81,7 @@ class ClientGroup(SimProcess):
         self._stop_time = stop_time
         self._latency = latency_recorder
         self._tracer = tracer
+        self._obs = obs
         self._client_index_offset = client_index_offset
 
         self._request_counter = itertools.count()
@@ -152,6 +154,8 @@ class ClientGroup(SimProcess):
         self._network.send(self.name, self._primary_name, request, request.size_bytes)
         if self._tracer is not None:
             self._tracer.record(self.now, "client.request_sent", self.name, request_id=request_id)
+        if self._obs is not None:
+            self._obs.begin_span("request", request_id, self.now, self.name)
 
     # ------------------------------------------------------------------ handlers
 
@@ -198,6 +202,8 @@ class ClientGroup(SimProcess):
                 committed=entry.committed,
                 aborted=entry.aborted,
             )
+        if self._obs is not None:
+            self._obs.end_span("request", request_id, self.now)
         self._send_next_request()
 
     def _on_timeout(self, request_id: str, attempt: int) -> None:

@@ -56,6 +56,7 @@ class Executor(SimProcess):
         per_operation_cost: float = 20e-6,
         behaviour: Optional[ExecutorBehaviour] = None,
         tracer: Optional[Tracer] = None,
+        obs=None,
     ) -> None:
         super().__init__(sim, name, region, cores=None)
         self._network = network
@@ -68,6 +69,7 @@ class Executor(SimProcess):
         self._per_operation_cost = per_operation_cost
         self._behaviour = behaviour
         self._tracer = tracer
+        self._obs = obs
         self._read_counter = itertools.count()
         self._pending_execute: Optional[ExecuteMsg] = None
         self._spawner: Optional[str] = None
@@ -80,6 +82,9 @@ class Executor(SimProcess):
         """Entry point called by the serverless cloud once the sandbox starts."""
         self._pending_execute = execute
         self._spawner = spawner
+        if self._obs is not None:
+            self._obs.end_span("spawn", execute.seq, self.now)
+            self._obs.begin_span("execute", execute.seq, self.now, self.name)
         if self._behaviour is not None and self._behaviour.should_ignore():
             self._trace("executor.ignored", seq=execute.seq)
             self._finish()
@@ -175,6 +180,8 @@ class Executor(SimProcess):
         for _ in range(max(1, copies)):
             self._network.send(self.name, self._verifier_name, message, message.size_bytes)
         self._trace("executor.verify_sent", seq=message.seq, copies=copies)
+        if self._obs is not None:
+            self._obs.end_span("execute", message.seq, self.now)
         self._finish()
 
     def _finish(self) -> None:

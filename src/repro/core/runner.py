@@ -29,11 +29,11 @@ from repro.crypto.keys import KeyStore
 from repro.crypto.signatures import SignatureService, resolve_backend
 from repro.errors import ConfigurationError
 from repro.faults.byzantine import ExecutorBehaviour, NodeBehaviour
+from repro.obs.context import ObsContext
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkFaultPlan
 from repro.sim.rng import DeterministicRNG
 from repro.sim.stats import LatencyRecorder, LatencySummary, ThroughputRecorder
-from repro.sim.tracing import Tracer
 from repro.storage.kvstore import VersionedKVStore
 from repro.storage.service import StorageService
 from repro.workload.ycsb import YCSBConfig, YCSBWorkload
@@ -99,6 +99,11 @@ class SimulationResult:
     billing: BillingReport = field(default_factory=BillingReport)
     cents_per_kilo_txn: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Observability payload (metrics/spans/trace) of a traced run; None
+    #: when observability was off.  Host-side diagnostics only: excluded
+    #: from ``simulated_fingerprint`` like ``wall_clock_seconds``, so a
+    #: traced and an untraced run of the same point share one digest.
+    obs: Optional[Dict[str, object]] = None
 
     @property
     def abort_rate(self) -> float:
@@ -144,10 +149,15 @@ class ServerlessBFTSimulation:
         self.sim = Simulator()
         self.rng = DeterministicRNG(config.seed)
         self.catalog = regions or RegionCatalog()
-        self.tracer = Tracer(enabled=tracer_enabled)
+        # One observability context per run: it owns the tracer, the
+        # commit-path span log, and the metrics registry.
+        self.obs = ObsContext(enabled=tracer_enabled)
+        self.tracer = self.obs.tracer
         # Components skip tracing entirely on a None tracer; threading None
-        # when tracing is off removes a dead call per protocol step.
+        # when tracing is off removes a dead call per protocol step.  The
+        # obs context follows the exact same pattern.
         component_tracer = self.tracer if tracer_enabled else None
+        component_obs = self.obs.component()
         self.network = Network(
             self.sim,
             GeoLatencyModel(self.catalog),
@@ -194,6 +204,7 @@ class ServerlessBFTSimulation:
             quorum_timeout=config.verifier_quorum_timeout,
             throughput=self.throughput,
             tracer=component_tracer,
+            obs=component_obs,
         )
         self.storage_service = StorageService(
             sim=self.sim,
@@ -222,6 +233,7 @@ class ServerlessBFTSimulation:
                 consensus_engine=consensus_engine,
                 behaviour=node_behaviours.get(name),
                 tracer=component_tracer,
+                obs=component_obs,
             )
             self.nodes.append(node)
 
@@ -243,6 +255,7 @@ class ServerlessBFTSimulation:
                 client_timeout=config.client_timeout,
                 latency_recorder=self.latency,
                 tracer=component_tracer,
+                obs=component_obs,
                 client_index_offset=index * group_size,
             )
             self.clients.append(group)
@@ -296,6 +309,7 @@ class ServerlessBFTSimulation:
             per_operation_cost=self.config.executor_read_ops_cost,
             behaviour=behaviour,
             tracer=self.tracer if self.tracer.enabled else None,
+            obs=self.obs.component(),
         )
         self._executor_counter += 1
         if isinstance(payload, ExecuteMsg):
@@ -315,6 +329,9 @@ class ServerlessBFTSimulation:
         for index, group in enumerate(self.clients):
             group._stop_time = duration
             self.sim.schedule(index * stagger, group.start)
+        # Per-run PERF discipline: delta over this baseline, not process
+        # totals (warm pool workers and back-to-back runs share the global).
+        self.obs.on_run_start()
         started = time.perf_counter()
         self.sim.run(until=duration)
         wall_clock = time.perf_counter() - started
@@ -366,4 +383,6 @@ class ServerlessBFTSimulation:
         )
         if self.fault_engine is not None:
             result.extra.update(self.fault_engine.metrics(duration))
+        if self.obs.enabled:
+            result.obs = self.obs.finalize(duration, extra=result.extra)
         return result

@@ -83,6 +83,7 @@ class ShimNode(SimProcess):
         consensus_engine: str = "pbft",
         behaviour: Optional[NodeBehaviour] = None,
         tracer: Optional[Tracer] = None,
+        obs=None,
         batch_flush_timeout: float = 0.02,
     ) -> None:
         super().__init__(sim, name, region, cores=config.shim_cores)
@@ -95,6 +96,7 @@ class ShimNode(SimProcess):
         self._verifier_name = verifier_name
         self._behaviour = behaviour
         self._tracer = tracer
+        self._obs = obs
         self._batch_flush_timeout = batch_flush_timeout
 
         self._pending_txns: Deque[Transaction] = deque()
@@ -135,6 +137,7 @@ class ShimNode(SimProcess):
                 host=self,
                 on_committed=self._on_committed,
                 tracer=tracer,
+                obs=obs,
             )
         else:
             self._replica = PBFTReplica(
@@ -151,6 +154,7 @@ class ShimNode(SimProcess):
                 on_committed=self._on_committed,
                 on_view_installed=self._on_view_installed,
                 tracer=tracer,
+                obs=obs,
                 behaviour=behaviour,
             )
 
@@ -381,6 +385,8 @@ class ShimNode(SimProcess):
             signature=signature,
         )
         seed_cached_digest(execute, signature.message_digest)
+        if self._obs is not None:
+            self._obs.begin_span("spawn", seq, self.now, self.name)
         spawn_cost = self._config.spawn_api_cost * len(regions) + self._costs.ds_sign
         self.process(spawn_cost, self._invoke_cloud, execute, regions, delay)
 
@@ -403,6 +409,8 @@ class ShimNode(SimProcess):
         if sender != self._verifier_name:
             return
         self._verified_seqs.add(message.seq)
+        if self._obs is not None:
+            self._obs.end_span("commit", message.seq, self.now)
         if self._config.conflict_mode is ConflictMode.CONFLICT_AVOIDANCE:
             for seq, _batch in self._planner.complete(message.seq):
                 self._spawn_for_seq(seq)

@@ -80,6 +80,7 @@ class Verifier(SimProcess):
         quorum_timeout: float = 2.0,
         throughput: Optional[ThroughputRecorder] = None,
         tracer: Optional[Tracer] = None,
+        obs=None,
         verify_processing_cost: float = 30e-6,
         write_cost_per_key: float = 5e-6,
     ) -> None:
@@ -95,6 +96,7 @@ class Verifier(SimProcess):
         self._quorum_timeout = quorum_timeout
         self._throughput = throughput or ThroughputRecorder()
         self._tracer = tracer
+        self._obs = obs
         self._verify_processing_cost = verify_processing_cost
         self._write_cost_per_key = write_cost_per_key
 
@@ -204,6 +206,8 @@ class Verifier(SimProcess):
         state.distinct_executors.add(sender)
         if state.representative is None:
             state.representative = message
+            if self._obs is not None:
+                self._obs.begin_span("verify", seq, self.now, self.name)
             # Map this batch's requests once per sequence number; further
             # VERIFYs for the same seq carry the same (shared) batch.
             request_to_seq = self._request_to_seq
@@ -382,6 +386,9 @@ class Verifier(SimProcess):
         self._finish_sequence(seq)
 
     def _finish_sequence(self, seq: int) -> None:
+        if self._obs is not None:
+            self._obs.end_span("verify", seq, self.now)
+            self._obs.begin_span("commit", seq, self.now, self.name)
         self._validated.add(seq)
         state = self._seq_state.get(seq)
         if state is not None and state.timer is not None:

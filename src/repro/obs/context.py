@@ -1,0 +1,136 @@
+"""The per-run observability context.
+
+One :class:`ObsContext` per deployment replaces the scattered fragments
+observability used to live in: the in-memory :class:`~repro.sim.tracing.Tracer`,
+the process-global :data:`repro.perf.PERF` counters (absorbed as a per-run
+snapshot/delta), and the watchdog's loose ``result.extra`` keys (mirrored as
+``fault.*`` gauges).  The simulation constructs it once, threads it to
+components the same way the tracer is threaded — ``None`` when disabled, so
+a disabled run pays zero per-event cost — and collects everything into one
+JSON-able payload at the end of the run.
+
+The payload is attached to ``SimulationResult.obs``, which is a *host-side*
+field: it is excluded from ``simulated_fingerprint`` exactly like
+``wall_clock_seconds``, so observability on/off can never change a result
+digest (the A/B suite in ``tests/test_obs.py`` enforces this across all
+four systems).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional
+
+from repro.obs.export import OBS_SCHEMA_VERSION
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import DEFAULT_SPAN_CAPACITY, SpanLog
+from repro.perf import PERF
+from repro.sim.stats import LatencyRecorder
+from repro.sim.tracing import Tracer
+
+#: Default bound on retained trace events per run (the tracer counts what
+#: it drops past this — see the exported header's ``trace_dropped``).
+DEFAULT_TRACE_CAPACITY = 250_000
+
+#: Span names of the commit path, in pipeline order (used by the CLI and
+#: report layer to order phase columns deterministically).
+COMMIT_PHASES = ("request", "consensus", "spawn", "execute", "verify", "commit")
+
+#: Fault-path span names (present only in runs that exercised them).
+FAULT_PHASES = ("view_change", "recovery")
+
+
+class ObsContext:
+    """Owns the tracer, span log, and metrics registry of one run."""
+
+    def __init__(
+        self,
+        enabled: bool,
+        trace_capacity: Optional[int] = DEFAULT_TRACE_CAPACITY,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.tracer = Tracer(enabled=self.enabled, capacity=trace_capacity)
+        self.spans = SpanLog(capacity=span_capacity)
+        self.metrics = MetricsRegistry()
+        self._perf_baseline: Optional[Dict[str, int]] = None
+
+    def component(self) -> Optional["ObsContext"]:
+        """What components receive: ``self`` when enabled, else ``None``.
+
+        The same pattern the tracer uses — a component guards every
+        emission with ``if self._obs is not None``, so a disabled run has
+        no per-event branch beyond that single None test it already pays
+        for the tracer.
+        """
+        return self if self.enabled else None
+
+    # ------------------------------------------------------------------ spans
+
+    def begin_span(self, name: str, key: Hashable, time: float, actor: str) -> None:
+        self.spans.begin(name, key, time, actor)
+
+    def end_span(self, name: str, key: Hashable, time: float) -> None:
+        self.spans.end(name, key, time)
+
+    # ------------------------------------------------------------------ perf
+
+    def on_run_start(self) -> None:
+        """Snapshot the process-global PERF counters at the start of a run.
+
+        Per-run discipline: the payload reports the *delta* over this
+        baseline, so back-to-back runs (and pool workers that reuse a warm
+        process) report their own work, never process-lifetime totals.
+        """
+        self._perf_baseline = PERF.snapshot()
+
+    def perf_delta(self) -> Dict[str, int]:
+        return PERF.delta_since(self._perf_baseline or {})
+
+    # ------------------------------------------------------------------ collect
+
+    def finalize(
+        self, duration: float, extra: Optional[Mapping[str, float]] = None
+    ) -> Dict[str, object]:
+        """Assemble the run's JSON-able observability payload."""
+        self.metrics.absorb_counters("perf", self.perf_delta())
+        if extra:
+            self.metrics.absorb_gauges("fault", extra)
+        self.metrics.gauge("run.duration", float(duration))
+
+        phases: Dict[str, Dict[str, float]] = {}
+        durations = self.spans.durations_by_name()
+        ordered = [name for name in COMMIT_PHASES + FAULT_PHASES if name in durations]
+        ordered += sorted(name for name in durations if name not in ordered)
+        for name in ordered:
+            recorder = LatencyRecorder(warmup=0.0)
+            for value in durations[name]:
+                recorder.record_value(value)
+            summary = recorder.summary()
+            phases[name] = {
+                "count": summary.count,
+                "mean": summary.mean,
+                "p50": summary.p50,
+                "p95": summary.p95,
+                "p99": summary.p99,
+                "minimum": summary.minimum,
+                "maximum": summary.maximum,
+            }
+
+        events: List[Dict[str, object]] = [
+            {
+                "time": event.time,
+                "category": event.category,
+                "actor": event.actor,
+                "details": dict(event.details),
+            }
+            for event in self.tracer
+        ]
+        return {
+            "schema": OBS_SCHEMA_VERSION,
+            "metrics": self.metrics.snapshot(),
+            "phases": phases,
+            "spans": [span.to_dict() for span in self.spans.spans()],
+            "spans_open": self.spans.open_count,
+            "spans_dropped": self.spans.dropped,
+            "trace": {"events": events, "dropped": self.tracer.dropped},
+        }

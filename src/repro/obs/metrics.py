@@ -1,0 +1,85 @@
+"""Per-run metrics registry: counters, gauges, histograms.
+
+One namespaced home for every number a run produces outside the result
+dataclass: the hot-path :data:`repro.perf.PERF` counters land here as a
+per-run *delta* under ``perf.*``, the fault-timeline watchdog's loose
+``extra.*`` keys become ``fault.*`` gauges, and per-phase latency
+decompositions become histograms backed by
+:class:`repro.sim.stats.LatencyRecorder` — the same incremental
+sorted-prefix percentile machinery the client latency summary uses, so a
+histogram summary costs O(1) amortised per observation instead of a sort at
+collect time.
+
+The registry is per-:class:`~repro.obs.context.ObsContext`, hence per-run:
+nothing here is process-global, which is what makes pool workers' metrics
+safe to ship home and compare against a serial run's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.sim.stats import LatencyRecorder
+
+
+class MetricsRegistry:
+    """Counters, gauges, and streaming-percentile histograms for one run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, LatencyRecorder] = {}
+
+    # ------------------------------------------------------------------ writers
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the named counter (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Set a counter outright (absorbing an externally computed delta)."""
+        self._counters[name] = value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of the named gauge."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to the named histogram."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LatencyRecorder(warmup=0.0)
+        histogram.record_value(value)
+
+    def absorb_counters(self, prefix: str, values: Mapping[str, float]) -> None:
+        """Copy a mapping of counters in under ``prefix.`` namespacing."""
+        for name, value in values.items():
+            self._counters[f"{prefix}.{name}"] = float(value)
+
+    def absorb_gauges(self, prefix: str, values: Mapping[str, float]) -> None:
+        for name, value in values.items():
+            self._gauges[f"{prefix}.{name}"] = float(value)
+
+    # ------------------------------------------------------------------ readers
+
+    def histogram_summary(self, name: str) -> Dict[str, float]:
+        summary = self._histograms[name].summary()
+        return {
+            "count": summary.count,
+            "mean": summary.mean,
+            "p50": summary.p50,
+            "p95": summary.p95,
+            "p99": summary.p99,
+            "minimum": summary.minimum,
+            "maximum": summary.maximum,
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as plain JSON-able dicts with sorted, stable keys."""
+        return {
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name] for name in sorted(self._gauges)},
+            "histograms": {
+                name: self.histogram_summary(name) for name in sorted(self._histograms)
+            },
+        }

@@ -1,0 +1,121 @@
+"""Virtual-time spans for the commit path.
+
+A span is one phase of a request's life — ``request`` (client send to
+client completion), ``consensus`` (propose to commit), ``spawn`` (spawn
+decision to executor start), ``execute`` (executor start to VERIFY sent),
+``verify`` (first VERIFY received to validation), ``commit`` (validation to
+the shim's verified notice), plus ``view_change`` and ``recovery`` for the
+fault path — measured in *simulated* seconds, so the decomposition lines up
+with the analytical cost model in :mod:`repro.perfmodel` rather than with
+host speed.
+
+Components emit begin/end marks through the per-run
+:class:`~repro.obs.context.ObsContext`; the log deduplicates them with
+first-begin-wins / first-end-wins semantics keyed on ``(name, key)``.  That
+matters because several actors legitimately touch the same phase of the
+same sequence number (3f+1 replicas commit, 3f_E+1 executors execute): the
+earliest mark is the phase boundary, everything later is a duplicate.
+
+The log is bounded: completed spans live in a ring buffer that evicts the
+oldest once ``capacity`` is reached, counting evictions in :attr:`dropped`
+— long traced runs degrade gracefully instead of growing without bound,
+and the exported header says exactly how much was lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
+
+#: Default bound on retained *completed* spans per run.
+DEFAULT_SPAN_CAPACITY = 65_536
+
+
+@dataclass
+class Span:
+    """One phase of one request/sequence number, in virtual time."""
+
+    name: str
+    key: Hashable
+    actor: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Virtual seconds from begin to end; None while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "key": self.key,
+            "actor": self.actor,
+            "start": self.start,
+            "end": self.end,
+        }
+
+
+class SpanLog:
+    """Collects spans with first-begin-wins / first-end-wins dedup."""
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        self._capacity = max(1, capacity)
+        self._open: Dict[Tuple[str, Hashable], Span] = {}
+        self._seen: Set[Tuple[str, Hashable]] = set()
+        self._closed: Deque[Span] = deque()
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Completed spans evicted by the ring buffer's capacity bound."""
+        return self._dropped
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    @property
+    def closed_count(self) -> int:
+        return len(self._closed)
+
+    def begin(self, name: str, key: Hashable, time: float, actor: str) -> None:
+        """Open the ``(name, key)`` span; later begins for it are duplicates."""
+        ident = (name, key)
+        if ident in self._seen:
+            return
+        self._seen.add(ident)
+        self._open[ident] = Span(name=name, key=key, actor=actor, start=time)
+
+    def end(self, name: str, key: Hashable, time: float) -> None:
+        """Close the span; later ends (other replicas/executors) are ignored."""
+        span = self._open.pop((name, key), None)
+        if span is None:
+            return
+        span.end = time
+        if len(self._closed) >= self._capacity:
+            self._closed.popleft()
+            self._dropped += 1
+        self._closed.append(span)
+
+    def spans(self) -> List[Span]:
+        """Completed spans in completion order, then still-open ones.
+
+        Completion order is an event-loop order, hence deterministic for a
+        deterministic simulation; open spans (phases cut off by the end of
+        the run) sort by their begin time for the same reason.
+        """
+        remaining = sorted(
+            self._open.values(), key=lambda span: (span.start, span.name, str(span.key))
+        )
+        return list(self._closed) + remaining
+
+    def durations_by_name(self) -> Dict[str, List[float]]:
+        """Completed-span durations grouped by span name (phase)."""
+        grouped: Dict[str, List[float]] = {}
+        for span in self._closed:
+            grouped.setdefault(span.name, []).append(span.end - span.start)  # type: ignore[operator]
+        return grouped

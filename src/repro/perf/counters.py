@@ -9,6 +9,7 @@ simulation's virtual-time behaviour reads them.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Mapping
 
 
 @dataclass
@@ -50,6 +51,19 @@ class PerfCounters:
     def snapshot(self) -> dict:
         """Counter values as a plain dict (stable field order)."""
         return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def delta_since(self, baseline: Mapping[str, int]) -> dict:
+        """Counter increments since a :meth:`snapshot` baseline.
+
+        The per-run discipline for the process-global :data:`PERF` object:
+        snapshot at run start, delta at collect, so back-to-back runs and
+        warm pool workers report their own work instead of process-lifetime
+        totals.  Counters absent from the baseline count from zero.
+        """
+        return {
+            field.name: getattr(self, field.name) - baseline.get(field.name, 0)
+            for field in fields(self)
+        }
 
     @property
     def digest_cache_hit_rate(self) -> float:

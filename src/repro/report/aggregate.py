@@ -54,6 +54,18 @@ RECOVERY_SCALAR_METRICS: Tuple[Tuple[str, str], ...] = (
     ("checkpoints", "extra.checkpoints_sent"),
 )
 
+#: Commit-path phase breakdown, present only for traced runs (the flight
+#: recorder's ``obs.phases`` payload).  Same presence discipline as the
+#: recovery columns: untraced stores never grow these columns, so their
+#: renders stay byte-identical.
+OBS_SCALAR_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("consensus_mean_s", "obs.phases.consensus.mean"),
+    ("spawn_mean_s", "obs.phases.spawn.mean"),
+    ("execute_mean_s", "obs.phases.execute.mean"),
+    ("verify_mean_s", "obs.phases.verify.mean"),
+    ("commit_mean_s", "obs.phases.commit.mean"),
+)
+
 
 def resolve_result_field(result: Mapping[str, object], field: str):
     """Walk a dotted ``field`` path into a result dict; None when absent.
@@ -296,6 +308,21 @@ def aggregate_records(
             for result in results
         ):
             for column, field in RECOVERY_SCALAR_METRICS:
+                values = [resolve_result_field(result, field) for result in results]
+                if column not in metrics and all(
+                    value is not None for value in values
+                ):
+                    metrics[column] = metric_stats(
+                        [float(value) for value in values]  # type: ignore[arg-type]
+                    )
+        # Phase-breakdown columns ride along only for traced runs, and only
+        # when every replicate of the group carries the phase (a group mixing
+        # traced and untraced replicates stays phase-free).
+        if all(
+            resolve_result_field(result, "obs.phases") is not None
+            for result in results
+        ):
+            for column, field in OBS_SCALAR_METRICS:
                 values = [resolve_result_field(result, field) for result in results]
                 if column not in metrics and all(
                     value is not None for value in values

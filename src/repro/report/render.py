@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.report.aggregate import (
     DEFAULT_SCALAR_METRICS,
+    OBS_SCALAR_METRICS,
     RECOVERY_SCALAR_METRICS,
     LatencyStats,
     MetricStats,
@@ -38,6 +39,10 @@ RECOVERY_FORMATS = {
     "unavailability_s": "{:.3f}",
     "recovery_ttr_s": "{:.3f}",
 }
+
+#: Phase means are a few milliseconds of virtual time; render them all at
+#: millisecond-grade precision.
+OBS_FORMAT = "{:.4f}"
 
 
 def format_error_bar(stats: MetricStats, float_format: str = SCALAR_FORMAT) -> str:
@@ -93,10 +98,18 @@ def render_sweep_section(name: str, points: Sequence[SeriesPoint]) -> str:
         for column, _field in RECOVERY_SCALAR_METRICS
         if any(column in point.metrics for point in points)
     ]
+    # Phase-breakdown columns appear only when some point was traced (the
+    # flight recorder's obs payload) — untraced stores render as before.
+    obs_columns = [
+        column
+        for column, _field in OBS_SCALAR_METRICS
+        if any(column in point.metrics for point in points)
+    ]
     columns += (
         ["seeds"]
         + metric_columns
         + recovery_columns
+        + obs_columns
         + ["latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_p99_s"]
     )
 
@@ -118,6 +131,11 @@ def render_sweep_section(name: str, points: Sequence[SeriesPoint]) -> str:
                         RECOVERY_FORMATS.get(column, SCALAR_FORMAT),
                     )
                 )
+            else:
+                row.append("")
+        for column in obs_columns:
+            if column in point.metrics:
+                row.append(format_error_bar(point.metrics[column], OBS_FORMAT))
             else:
                 row.append("")
         row.append(format_latency_mean(point.latency))

@@ -8,6 +8,7 @@ protocol-level properties without poking at component internals.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -23,21 +24,46 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records during a simulation run."""
+    """Collects :class:`TraceEvent` records during a simulation run.
+
+    A ``capacity`` bounds memory for long traced runs: the first
+    ``capacity`` events are kept (the keep-first semantics tests rely on)
+    and everything past it is *counted* in :attr:`dropped` rather than
+    silently discarded — the count travels in the exported trace header,
+    and the first drop emits a one-time warning.
+    """
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
         self._enabled = enabled
         self._capacity = capacity
         self._events: List[TraceEvent] = []
+        self._dropped = 0
 
     @property
     def enabled(self) -> bool:
         return self._enabled
 
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the trace was already at capacity."""
+        return self._dropped
+
     def record(self, time: float, category: str, actor: str, **details: Any) -> None:
         if not self._enabled:
             return
         if self._capacity is not None and len(self._events) >= self._capacity:
+            if self._dropped == 0:
+                warnings.warn(
+                    f"trace capacity {self._capacity} reached; further events "
+                    f"are dropped (counted in Tracer.dropped)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self._dropped += 1
             return
         self._events.append(TraceEvent(time=time, category=category, actor=actor, details=details))
 

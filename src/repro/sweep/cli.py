@@ -120,6 +120,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store=store,
         timeout=args.timeout,
         progress=None if args.quiet else print_progress,
+        tracer_enabled=args.trace,
     )
     print()
     print(format_table(report.table(), float_format="{:,.3f}"))
@@ -210,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run every point under N derived seeds (error bars via 'report'); "
         "each replicate is an individually cached store entry",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every simulated point with the flight recorder on "
+        "(observability payload stored per point; digests are unchanged)",
     )
     run.add_argument(
         "--expect-all-cached",

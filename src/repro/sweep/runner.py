@@ -70,28 +70,30 @@ def _register_worker_state(scenarios, systems) -> None:
 # ------------------------------------------------------------------ rebuilding
 
 
-def build_simulation(resolved: Mapping[str, object]):
+def build_simulation(resolved: Mapping[str, object], tracer_enabled: bool = False):
     """Construct the deployment a resolved point describes (any system kind).
 
     Thin alias for :func:`repro.api.facade.build_deployment` — the system
     registry replaced the if/elif ladder that used to live here, so sweep
     workers and ``repro.api.run`` share one construction path.
     """
-    return build_deployment(resolved)
+    return build_deployment(resolved, tracer_enabled=tracer_enabled)
 
 
-def simulate_resolved_point(resolved: Mapping[str, object]) -> Dict[str, object]:
+def simulate_resolved_point(
+    resolved: Mapping[str, object], tracer_enabled: bool = False
+) -> Dict[str, object]:
     """Run one resolved point and return its result dict.
 
     Module-level so ``ProcessPoolExecutor`` can pickle it; the in-process
     serial path calls the exact same function, which is what makes parallel
     runs bit-identical to serial ones.
     """
-    return _timed_simulate(resolved)[0]
+    return _timed_simulate(resolved, tracer_enabled=tracer_enabled)[0]
 
 
 def _timed_simulate(
-    resolved: Mapping[str, object],
+    resolved: Mapping[str, object], tracer_enabled: bool = False
 ) -> Tuple[Dict[str, object], Dict[str, float]]:
     """Simulate one resolved point, separating setup from simulation time.
 
@@ -101,7 +103,7 @@ def _timed_simulate(
     each result so warm-pool amortisation is measurable from the store.
     """
     started = time.perf_counter()
-    simulation = build_simulation(resolved)
+    simulation = build_simulation(resolved, tracer_enabled=tracer_enabled)
     setup_seconds = time.perf_counter() - started
     result = simulation.run(
         duration=float(resolved["duration"]),  # type: ignore[arg-type]
@@ -119,11 +121,17 @@ def _timed_simulate(
 
 
 def _simulate_point_task(
-    resolved: Mapping[str, object], scenarios, systems
+    resolved: Mapping[str, object], scenarios, systems, tracer_enabled: bool = False
 ) -> Tuple[Dict[str, object], Dict[str, float]]:
-    """Warm-pool task: re-register runtime state, then simulate with timing."""
+    """Warm-pool task: re-register runtime state, then simulate with timing.
+
+    ``tracer_enabled`` is a collection flag, not part of the point's content
+    address: a traced worker run produces the same simulated fingerprint as
+    an untraced one, plus the flight-recorder payload riding home on
+    ``result_dict["obs"]``.
+    """
     _register_worker_state(scenarios, systems)
-    return _timed_simulate(resolved)
+    return _timed_simulate(resolved, tracer_enabled=tracer_enabled)
 
 
 # ------------------------------------------------------------------ outcomes
@@ -286,6 +294,7 @@ def run_sweep(
     store: Optional[ResultStore] = None,
     timeout: Optional[float] = None,
     progress: Optional[ProgressCallback] = None,
+    tracer_enabled: bool = False,
 ) -> SweepReport:
     """Run every point of ``sweep``, skipping points already in ``store``.
 
@@ -299,6 +308,11 @@ def run_sweep(
     Points carrying ``replicates=N`` are expanded into N per-seed points
     first (see :func:`repro.sweep.spec.expand_replicates`), so the report's
     outcomes — and the store's records — hold one entry per replicate.
+
+    ``tracer_enabled=True`` runs every simulated point with the flight
+    recorder on; the observability payload rides inside each result dict
+    (``obs``) across the pool, and the simulated fingerprint — hence the
+    store's digest — is unchanged.
     """
     started = time.perf_counter()
     sweep = expand_replicates(sweep)
@@ -439,7 +453,8 @@ def run_sweep(
         pool = get_shared_pool(workers)
         timed_out = drain({
             pool.submit(
-                _simulate_point_task, outcome.resolved, task_scenarios, task_systems
+                _simulate_point_task, outcome.resolved, task_scenarios,
+                task_systems, tracer_enabled,
             ): outcome
             for outcome in executable
         })
@@ -452,7 +467,8 @@ def run_sweep(
             retries, retry_queue = retry_queue, []
             timed_out = drain({
                 pool.submit(
-                    _simulate_point_task, outcome.resolved, task_scenarios, task_systems
+                    _simulate_point_task, outcome.resolved, task_scenarios,
+                    task_systems, tracer_enabled,
                 ): outcome
                 for outcome in retries
             })
@@ -471,7 +487,9 @@ def run_sweep(
         for outcome in executable:
             point_started = time.perf_counter()
             try:
-                outcome.result_dict, outcome.timing = _timed_simulate(outcome.resolved)
+                outcome.result_dict, outcome.timing = _timed_simulate(
+                    outcome.resolved, tracer_enabled=tracer_enabled
+                )
             except Exception as exc:
                 outcome.error = f"{type(exc).__name__}: {exc}"
             outcome.wall_clock_seconds = time.perf_counter() - point_started

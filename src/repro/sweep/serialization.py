@@ -49,7 +49,10 @@ def result_from_dict(payload: Mapping[str, object]) -> SimulationResult:
 
 
 #: Result fields that depend on host speed, not on the simulated run.
-HOST_SPEED_FIELDS = ("wall_clock_seconds",)
+#: ``obs`` joins them: the flight-recorder payload carries host-speed
+#: perf-counter deltas and exists only when tracing is on, so it must never
+#: contribute to a simulated fingerprint (obs on/off digests stay identical).
+HOST_SPEED_FIELDS = ("wall_clock_seconds", "obs")
 
 
 def simulated_fingerprint(payload: Mapping[str, object]) -> Dict[str, object]:

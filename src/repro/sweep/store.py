@@ -126,6 +126,22 @@ class ResultStore:
             record["timing"] = dict(timing)
         if retries:
             record["retries"] = int(retries)
+        obs = result.get("obs")
+        if isinstance(obs, Mapping):
+            # Traced run: attach a compact per-point observability summary so
+            # phase means and drop counts are greppable from the store alone
+            # (the full payload stays inside ``result["obs"]``).
+            trace = obs.get("trace", {})
+            record["obs_summary"] = {
+                "spans": len(obs.get("spans", ())),
+                "spans_dropped": obs.get("spans_dropped", 0),
+                "trace_events": len(trace.get("events", ())),
+                "trace_dropped": trace.get("dropped", 0),
+                "phase_mean_seconds": {
+                    name: summary.get("mean")
+                    for name, summary in obs.get("phases", {}).items()
+                },
+            }
         directory = os.path.dirname(self._path)
         if directory:
             os.makedirs(directory, exist_ok=True)

@@ -1,5 +1,7 @@
 """Unit tests for statistics recorders and the tracer."""
 
+import warnings
+
 import pytest
 
 from repro.sim.stats import LatencyRecorder, ThroughputRecorder
@@ -93,6 +95,24 @@ def test_tracer_disabled_records_nothing():
 
 def test_tracer_capacity_limit():
     tracer = Tracer(capacity=2)
-    for index in range(5):
-        tracer.record(index, "cat", "actor")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for index in range(5):
+            tracer.record(index, "cat", "actor")
     assert len(tracer) == 2
+
+
+def test_tracer_counts_drops_and_warns_once():
+    tracer = Tracer(capacity=2)
+    assert tracer.dropped == 0
+    tracer.record(0.0, "cat", "actor")
+    tracer.record(0.1, "cat", "actor")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        tracer.record(0.2, "cat", "actor")
+        tracer.record(0.3, "cat", "actor")
+    assert tracer.dropped == 2
+    assert len(tracer) == 2  # keep-first-N semantics unchanged
+    runtime_warnings = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime_warnings) == 1  # warned exactly once, on the first drop
+    assert "trace capacity" in str(runtime_warnings[0].message)
