@@ -3,8 +3,31 @@
 The offline environment lacks ``wheel``, which PEP 517 editable installs
 need; the legacy ``setup.py develop`` path used via
 ``pip install -e . --no-use-pep517 --no-build-isolation`` does not.
+
+The simulator itself is stdlib-only; ``pip install -e .[dev]`` adds the
+static-analysis toolchain (mypy — the in-tree linter ``repro.lint`` needs
+nothing beyond the stdlib) and pytest for the tier-1 suite.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-serverless-bft",
+    version="0.8.0",
+    description=(
+        "Discrete-event reproduction of a serverless BFT/CFT consensus "
+        "study: deterministic simulator, sweep harness, content-addressed "
+        "result store, and static-analysis tooling."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    # Runtime is deliberately stdlib-only (see ROADMAP.md); extras cover
+    # the development toolchain.
+    extras_require={
+        "dev": [
+            "pytest",
+            "mypy>=1.8",
+        ],
+    },
+)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigurationError
@@ -46,7 +46,7 @@ class ScenarioConflictError(ConfigurationError):
 # ------------------------------------------------------------------ jsonify
 
 
-def jsonify(value):
+def jsonify(value: Any) -> Any:
     """Rewrite ``value`` into pure JSON types (dicts/lists/str/num/bool/None).
 
     Enum members collapse to their values and tuples to lists so that a
@@ -165,8 +165,12 @@ def validate_seed_label(component: object, what: str) -> object:
 
 # ------------------------------------------------------------------ scenario composition
 
+#: What callers may pass wherever a scenario is expected: nothing (the
+#: baseline), one preset name, or an ordered list of presets to compose.
+ScenarioSelector = Union[None, str, Sequence[str]]
 
-def normalize_scenarios(scenario) -> Tuple[str, ...]:
+
+def normalize_scenarios(scenario: ScenarioSelector) -> Tuple[str, ...]:
     """Canonicalise a scenario selector: str | sequence -> non-empty tuple.
 
     Scenario names feed per-point seed derivation (via the canonical
@@ -184,7 +188,7 @@ def normalize_scenarios(scenario) -> Tuple[str, ...]:
     return names
 
 
-def scenario_key(scenario) -> str:
+def scenario_key(scenario: ScenarioSelector) -> str:
     """The canonical string form of a scenario selector.
 
     Single scenarios keep their plain name (so derived per-point seeds are
@@ -223,7 +227,7 @@ def _merge_scenario_layer(
     return None
 
 
-def compose_scenarios(scenario) -> ComposedScenarios:
+def compose_scenarios(scenario: ScenarioSelector) -> ComposedScenarios:
     """Merge the config/workload overrides of a scenario list, in list order.
 
     Overlapping keys are allowed only when every contributing scenario
@@ -285,7 +289,7 @@ def merge_runner_knob(
 
 
 def compose_runner_kwargs(
-    scenario, resolved: Mapping[str, object]
+    scenario: ScenarioSelector, resolved: Mapping[str, object]
 ) -> Dict[str, object]:
     """Build and merge the runner knobs of every scenario in the list.
 
@@ -341,6 +345,40 @@ def validate_base(base: str) -> str:
 
 
 # ------------------------------------------------------------------ RunSpec
+
+#: RunSpec fields captured by :func:`resolve_run` — they enter the resolved
+#: dict and therefore the content address.  Together with
+#: :data:`NON_ADDRESSED_RUNSPEC_FIELDS` this must partition the dataclass
+#: exactly: the DIG002 lint rule cross-checks both lists against the class
+#: body, so adding a field forces an explicit decision about whether it
+#: changes the content address (``tests/test_lint.py`` also asserts the
+#: partition against ``dataclasses.fields`` at runtime).
+ADDRESSED_RUNSPEC_FIELDS = (
+    "system",
+    "scenarios",
+    "overrides",
+    "base",
+    "seed",
+    "duration",
+    "warmup",
+    "consensus_engine",
+    "execution_threads",
+    "labels",
+)
+
+#: RunSpec fields deliberately *outside* the content address, each with its
+#: reason: ``replicates`` is expansion-only (every expanded replicate pins a
+#: derived seed, which *is* addressed); the three bespoke fault knobs carry
+#: live Python objects the facade rejects as non-addressable when a store is
+#: in play; ``tracer_enabled`` is a collection flag — traced and untraced
+#: runs of the same point must share one digest (PR 7's invariant).
+NON_ADDRESSED_RUNSPEC_FIELDS = (
+    "replicates",
+    "node_behaviours",
+    "executor_behaviour_factory",
+    "network_fault_plan",
+    "tracer_enabled",
+)
 
 
 @dataclass(frozen=True)
@@ -468,7 +506,7 @@ def resolve_run(
     base: str,
     system: str,
     consensus_engine: str,
-    scenarios,
+    scenarios: ScenarioSelector,
     execution_threads: int,
     duration: float,
     warmup: float,

@@ -330,9 +330,10 @@ class PBFTReplicatedSimulation:
             group._stop_time = duration
             self.sim.schedule(index * 0.001, group.start)
         self.obs.on_run_start()
+        # lint: ignore[DET001] wall_clock_seconds is a declared HOST_SPEED_FIELDS field
         started = time.perf_counter()
         self.sim.run(until=duration)
-        wall_clock = time.perf_counter() - started
+        wall_clock = time.perf_counter() - started  # lint: ignore[DET001] host timing
         window = max(1e-9, duration - warmup)
         committed = self.throughput.completed
         # Edge-only deployment: only the shim VMs are billed.

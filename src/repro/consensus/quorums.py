@@ -8,7 +8,18 @@ threshold is met.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 VoteKey = TypeVar("VoteKey", bound=Hashable)
 
@@ -55,7 +66,9 @@ class QuorumTracker(Generic[VoteKey]):
     def keys(self) -> List[VoteKey]:
         return list(self._votes.keys())
 
-    def best_key_with_prefix(self, prefix_filter) -> Optional[Tuple[VoteKey, int]]:
+    def best_key_with_prefix(
+        self, prefix_filter: Callable[[VoteKey], bool]
+    ) -> Optional[Tuple[VoteKey, int]]:
         """Return the key with the most votes among those accepted by ``prefix_filter``."""
         best: Optional[Tuple[VoteKey, int]] = None
         for key, voters in self._votes.items():

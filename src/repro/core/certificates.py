@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 from repro.consensus.messages import CommitMsg
 from repro.crypto.signatures import Signature, SignatureService
 from repro.crypto.threshold import ThresholdSignature, ThresholdSigner
+from repro.errors import CryptoError
 from repro.perf import PERF
 
 
@@ -106,6 +107,8 @@ def build_certificate(
             return CommitCertificate(
                 view=view, seq=seq, digest=digest, threshold_signature=aggregate
             )
-        except Exception:
+        except CryptoError:
+            # Shares cover different digests (per-replica COMMIT payloads)
+            # or too few distinct signers: fall through to the plain cert.
             pass
     return CommitCertificate(view=view, seq=seq, digest=digest, signatures=tuple(signatures))

@@ -332,9 +332,10 @@ class ServerlessBFTSimulation:
         # Per-run PERF discipline: delta over this baseline, not process
         # totals (warm pool workers and back-to-back runs share the global).
         self.obs.on_run_start()
+        # lint: ignore[DET001] wall_clock_seconds is a declared HOST_SPEED_FIELDS field
         started = time.perf_counter()
         self.sim.run(until=duration)
-        wall_clock = time.perf_counter() - started
+        wall_clock = time.perf_counter() - started  # lint: ignore[DET001] host timing
         return self._collect(duration, warmup, wall_clock)
 
     def _collect(self, duration: float, warmup: float, wall_clock: float = 0.0) -> SimulationResult:

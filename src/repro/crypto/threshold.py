@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable
+from typing import Any, Dict, FrozenSet, Iterable
 
 from repro.crypto.hashing import digest
 from repro.crypto.signatures import Signature
@@ -71,7 +71,7 @@ class ThresholdSigner:
             value=value,
         )
 
-    def verify(self, payload, aggregate: ThresholdSignature) -> bool:
+    def verify(self, payload: Any, aggregate: ThresholdSignature) -> bool:
         """Check that the aggregate covers ``payload`` and enough signers."""
         if aggregate.threshold != self._threshold:
             return False

@@ -1,0 +1,16 @@
+"""Entry point: ``python -m repro.lint ...``."""
+
+import os
+import sys
+
+from repro.lint.cli import main
+
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream pager/`head` closed the pipe; redirect stdout at the fd
+    # level so the interpreter's shutdown flush doesn't raise again.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

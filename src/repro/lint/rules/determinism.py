@@ -1,0 +1,271 @@
+"""DET001 — nondeterminism sources in simulation/consensus/crypto/sweep code.
+
+Why this rule exists: PR 2 shipped a latent cross-process nondeterminism
+bug — ``DecentralizedSpawnPolicy`` staggered region choice with the builtin
+``hash()``, which is randomised per process (``PYTHONHASHSEED``), so
+decentralized-spawning results silently differed across workers for months
+until the serial-vs-pool A/B suite happened to cover that configuration.
+The fix (crc32) was one line; *finding* it was the expensive part.  This
+rule rejects the whole class at review time:
+
+* builtin ``hash()`` — per-process randomised for str/bytes; use
+  ``zlib.crc32`` or :func:`repro.crypto.hashing.digest`.
+* wall-clock reads (``time.time/monotonic/perf_counter/...``,
+  ``datetime.now/utcnow``, ``date.today``) — host speed leaking into
+  simulated results.  Host-side *accounting* that feeds a declared
+  ``HOST_SPEED_FIELDS`` field is legitimate: annotate the line with
+  ``# lint: ignore[DET001] host wall-clock accounting``.
+* the process-global ``random`` module (``random.random()``,
+  ``random.Random()`` with no seed, ...) — simulations must draw from a
+  seeded :class:`repro.sim.rng.DeterministicRng`.
+* entropy/identity escapes: ``os.urandom``, anything in ``uuid`` /
+  ``secrets``, and ``id()`` used inside ordering or digest contexts
+  (``sorted``/``min``/``max``/sort keys, ``digest``/``canonical_bytes``
+  arguments) — CPython object addresses differ run to run.
+* iterating a ``set``/``frozenset`` expression directly in a ``for`` or
+  comprehension — set order depends on the hash seed; wrap in
+  ``sorted(...)`` before it feeds anything order-sensitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.rules import FileRule, RawFinding, register
+
+#: time-module functions that read the host clock.
+_WALL_CLOCK_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: random-module functions that draw from the unseeded process-global RNG.
+_GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "getrandbits",
+        "randbytes",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "lognormvariate",
+    }
+)
+
+#: Call targets whose arguments are digest/ordering contexts for ``id()``.
+_ORDER_SENSITIVE_FUNCS = frozenset(
+    {"sorted", "min", "max", "digest", "cached_digest", "canonical_bytes"}
+)
+
+
+class _ImportMap:
+    """Which local names refer to which modules / module members."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}  # local name -> module path
+        self.members: Dict[str, Tuple[str, str]] = {}  # local -> (module, member)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.modules[local] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.members[local] = (node.module, alias.name)
+
+    def call_target(self, func: ast.expr) -> Tuple[str, str]:
+        """Resolve a call's func to ``(module, member)`` ("" when unknown)."""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module = self.modules.get(func.value.id, "")
+            if module:
+                return (module, func.attr)
+            member = self.members.get(func.value.id)
+            if member is not None:
+                # e.g. ``from datetime import datetime; datetime.now()``.
+                return (f"{member[0]}.{member[1]}", func.attr)
+            return ("", "")
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute):
+            # e.g. datetime.datetime.now — resolve the inner attribute first.
+            inner = func.value
+            if isinstance(inner.value, ast.Name):
+                module = self.modules.get(inner.value.id, "")
+                if module:
+                    return (f"{module}.{inner.attr}", func.attr)
+        if isinstance(func, ast.Name):
+            member = self.members.get(func.id)
+            if member is not None:
+                return member
+        return ("", "")
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+@register
+class DeterminismRule(FileRule):
+    __doc__ = __doc__
+
+    code = "DET001"
+    summary = (
+        "nondeterminism source: builtin hash(), wall clock, unseeded random, "
+        "urandom/uuid/secrets, id() in ordering, raw set iteration"
+    )
+
+    def check(self, path: str, tree: ast.AST, source: str) -> Iterator[RawFinding]:
+        imports = _ImportMap(tree)
+        findings: List[RawFinding] = []
+        order_contexts: Set[int] = set()  # ids of id() calls already judged
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(node, imports, order_contexts))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    findings.append(self._set_iteration(node.iter))
+            elif isinstance(node, ast.comprehension):
+                if _is_set_expr(node.iter):
+                    findings.append(self._set_iteration(node.iter))
+        return iter(sorted(findings, key=lambda f: (f.line, f.col)))
+
+    # ------------------------------------------------------------------ calls
+
+    def _check_call(
+        self, node: ast.Call, imports: _ImportMap, order_contexts: Set[int]
+    ) -> Iterator[RawFinding]:
+        func = node.func
+        # builtin hash()
+        if isinstance(func, ast.Name) and func.id == "hash":
+            yield RawFinding(
+                node.lineno,
+                node.col_offset,
+                "builtin hash() is per-process randomised for str/bytes; "
+                "use zlib.crc32 or repro.crypto.hashing.digest",
+            )
+            return
+        # id() inside ordering/digest contexts
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_FUNCS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "id"
+                        and id(sub) not in order_contexts
+                    ):
+                        order_contexts.add(id(sub))
+                        yield RawFinding(
+                            sub.lineno,
+                            sub.col_offset,
+                            f"id() feeding {func.id}() orders by CPython object "
+                            "address, which differs run to run; order by a "
+                            "stable field instead",
+                        )
+        if isinstance(func, ast.Attribute) and func.attr == "sort":
+            for kw in node.keywords:
+                for sub in ast.walk(kw.value):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "id"
+                        and id(sub) not in order_contexts
+                    ):
+                        order_contexts.add(id(sub))
+                        yield RawFinding(
+                            sub.lineno,
+                            sub.col_offset,
+                            "id() in a sort key orders by CPython object "
+                            "address, which differs run to run",
+                        )
+
+        module, member = imports.call_target(func)
+        if not module:
+            return
+        if module == "time" and member in _WALL_CLOCK_FUNCS:
+            yield RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"time.{member}() reads the host clock; simulated code must "
+                "use virtual time (annotate host-speed accounting with "
+                "# lint: ignore[DET001])",
+            )
+        elif module == "random":
+            if member in _GLOBAL_RNG_FUNCS:
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    f"random.{member}() draws from the unseeded process-global "
+                    "RNG; use a seeded repro.sim.rng.DeterministicRng",
+                )
+            elif member == "Random" and not node.args and not node.keywords:
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "random.Random() without a seed is OS-entropy seeded; "
+                    "pass an explicit seed",
+                )
+        elif module == "os" and member == "urandom":
+            yield RawFinding(
+                node.lineno,
+                node.col_offset,
+                "os.urandom() is OS entropy; derive bytes from the run seed",
+            )
+        elif module in ("uuid", "secrets"):
+            yield RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"{module}.{member}() is nondeterministic; derive identifiers "
+                "from the run seed or content addresses",
+            )
+        elif module in ("datetime", "datetime.datetime") and member in (
+            "now",
+            "utcnow",
+        ):
+            yield RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"datetime {member}() reads the host clock",
+            )
+        elif module in ("datetime", "datetime.date") and member == "today":
+            yield RawFinding(
+                node.lineno, node.col_offset, "date.today() reads the host clock"
+            )
+
+    def _set_iteration(self, iter_node: ast.expr) -> RawFinding:
+        return RawFinding(
+            iter_node.lineno,
+            iter_node.col_offset,
+            "iterating a set directly: iteration order depends on the "
+            "per-process hash seed; wrap in sorted(...) before it feeds "
+            "anything order-sensitive",
+        )

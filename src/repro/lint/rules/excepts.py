@@ -1,0 +1,89 @@
+"""EXC005 — bare ``except`` and silent broad-exception swallows.
+
+Why this rule exists: sweep workers, warm pools, and the result store are
+the paths where an exception is most likely to be *someone else's* crash —
+a worker process dying mid-point, a torn JSONL line, a broken pool
+poisoning every pending future.  A ``try: ... except Exception: pass``
+in those paths converts worker death into silently missing results: the
+sweep reports success, the store has a hole, and the replicate statistics
+quietly average over fewer seeds than they claim.  (PR 6 added explicit
+worker-death retry precisely because these failures must be *handled*,
+not swallowed.)
+
+Two shapes are flagged everywhere:
+
+* ``except:`` — bare excepts also catch ``KeyboardInterrupt`` /
+  ``SystemExit``, turning Ctrl-C into an infinite loop in drain/retry
+  code.  Catch ``Exception`` at the very most, and name the reason.
+* ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass`` / ``continue`` / ``...`` — a silent swallow.  Handle the error:
+  log it, record it on the outcome, re-raise a typed error, or narrow the
+  except to the exception type you actually expect (and say why in a
+  comment).
+
+Broad handlers that *do something* — record the failure on a
+``PointOutcome``, log and fall back — are accepted: at a process boundary
+the exception type genuinely is arbitrary.  The rule is about silence,
+not breadth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.rules import FileRule, RawFinding, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names(exc_type: ast.expr | None) -> List[str]:
+    if exc_type is None:
+        return []
+    if isinstance(exc_type, ast.Name):
+        return [exc_type.id]
+    if isinstance(exc_type, ast.Tuple):
+        return [elt.id for elt in exc_type.elts if isinstance(elt, ast.Name)]
+    return []
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    """True when the handler body neither handles nor reports anything."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+@register
+class ExceptionSwallowRule(FileRule):
+    __doc__ = __doc__
+
+    code = "EXC005"
+    summary = "bare except / silent `except Exception: pass` swallow"
+
+    def check(self, path: str, tree: ast.AST, source: str) -> Iterator[RawFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "bare `except:` also catches KeyboardInterrupt/SystemExit; "
+                    "catch Exception at most, and handle or log it",
+                )
+                continue
+            if any(name in _BROAD for name in _names(node.type)) and _is_silent(
+                node.body
+            ):
+                yield RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "`except Exception`-and-continue swallows failures "
+                    "silently (worker death becomes a missing result); log "
+                    "it, record it, or narrow to the expected exception type",
+                )

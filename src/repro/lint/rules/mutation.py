@@ -1,0 +1,156 @@
+"""MUT004 — frozen message mutation outside constructors.
+
+Why this rule exists: :func:`repro.crypto.hashing.cached_digest` memoises a
+message's digest *on the instance* the first time anything hashes it, and
+every later sign/verify/certificate check — on every replica the same
+object was delivered to — reuses the memo.  That is only sound if frozen
+messages never change after construction.  ``@dataclass(frozen=True)``
+blocks plain attribute assignment, but ``object.__setattr__`` (and raw
+``__dict__`` writes) bypass it — one such write to a canonical field after
+the digest memo is seeded would let a message's bytes and its cached
+digest disagree, which is exactly the corruption the byzantine suites
+exist to *detect*, silently introduced by honest code.
+
+What is allowed, mirroring the codebase's sanctioned patterns:
+
+* ``object.__setattr__`` inside ``__init__`` / ``__post_init__`` /
+  ``__new__`` — frozen dataclasses have no other way to set fields during
+  construction.
+* ``object.__setattr__(obj, "_underscore_name", ...)`` anywhere — the
+  underscore namespace is reserved for derived memos (``_sig_valid``,
+  ``_repro_cached_digest``, read/write-set caches) that are pure functions
+  of the canonical fields and never enter ``canonical()`` payloads.
+
+Everything else is flagged: a public-field write outside a constructor,
+a write whose attribute name cannot be resolved statically (unless the
+resolved module-level constant names an underscore attribute), and any
+subscript assignment to ``X.__dict__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.rules import FileRule, RawFinding, register
+
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _module_str_constants(tree: ast.AST) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments (attr-name indirection)."""
+    constants: Dict[str, str] = {}
+    if isinstance(tree, ast.Module):
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                constants[stmt.targets[0].id] = stmt.value.value
+    return constants
+
+
+@register
+class FrozenMutationRule(FileRule):
+    __doc__ = __doc__
+
+    code = "MUT004"
+    summary = (
+        "object.__setattr__/__dict__ write to a frozen instance outside a "
+        "constructor (breaks the cached-digest memo)"
+    )
+
+    def check(self, path: str, tree: ast.AST, source: str) -> Iterator[RawFinding]:
+        constants = _module_str_constants(tree)
+        findings: List[RawFinding] = []
+        self._walk(tree, in_constructor=False, constants=constants, findings=findings)
+        return iter(findings)
+
+    def _walk(
+        self,
+        node: ast.AST,
+        in_constructor: bool,
+        constants: Dict[str, str],
+        findings: List[RawFinding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk(
+                    child,
+                    in_constructor=child.name in _CONSTRUCTORS,
+                    constants=constants,
+                    findings=findings,
+                )
+                continue
+            if isinstance(child, ast.ClassDef):
+                self._walk(child, False, constants, findings)
+                continue
+            if isinstance(child, ast.Call):
+                finding = self._check_setattr(child, in_constructor, constants)
+                if finding is not None:
+                    findings.append(finding)
+            elif isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign) else [child.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "__dict__"
+                    ):
+                        findings.append(
+                            RawFinding(
+                                target.lineno,
+                                target.col_offset,
+                                "writing through __dict__ bypasses frozen-"
+                                "instance protection; construct a new message "
+                                "instead",
+                            )
+                        )
+            self._walk(child, in_constructor, constants, findings)
+
+    def _check_setattr(
+        self, node: ast.Call, in_constructor: bool, constants: Dict[str, str]
+    ) -> Optional[RawFinding]:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            return None
+        if in_constructor:
+            return None
+        if len(node.args) >= 2:
+            attr_node = node.args[1]
+            attr_name: Optional[str] = None
+            if isinstance(attr_node, ast.Constant) and isinstance(
+                attr_node.value, str
+            ):
+                attr_name = attr_node.value
+            elif isinstance(attr_node, ast.Name):
+                attr_name = constants.get(attr_node.id)
+            if attr_name is not None and attr_name.startswith("_"):
+                return None  # sanctioned derived-memo namespace
+            if attr_name is None:
+                return RawFinding(
+                    node.lineno,
+                    node.col_offset,
+                    "object.__setattr__ with a non-literal attribute name on "
+                    "a (potentially frozen) instance outside a constructor — "
+                    "cannot prove it stays in the _memo namespace",
+                )
+            return RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"object.__setattr__(..., {attr_name!r}, ...) mutates a "
+                "canonical field outside a constructor; the cached-digest "
+                "memo makes post-construction mutation unsound — build a new "
+                "message instead",
+            )
+        return None

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -39,9 +39,9 @@ class DeterministicRNG:
         # workload generator calls randint hundreds of thousands of times per
         # simulated second, and the wrapper frame is pure overhead.  The
         # instance attributes shadow the identically-behaved methods below.
-        self.randint = self._random.randint
-        self.random = self._random.random
-        self.uniform = self._random.uniform
+        self.randint = self._random.randint  # type: ignore[method-assign]
+        self.random = self._random.random  # type: ignore[method-assign]
+        self.uniform = self._random.uniform  # type: ignore[method-assign]
 
     @property
     def seed(self) -> int:
@@ -66,7 +66,7 @@ class DeterministicRNG:
     def randint(self, low: int, high: int) -> int:
         return self._random.randint(low, high)
 
-    def bounded_int_fn(self, width: int):
+    def bounded_int_fn(self, width: int) -> Callable[[], int]:
         """A zero-argument sampler equivalent to ``randint(0, width - 1)``.
 
         Replicates CPython's ``Random._randbelow_with_getrandbits`` rejection
@@ -131,7 +131,7 @@ class DeterministicRNG:
         return int(population * (eta * u - eta + 1) ** alpha)
 
 
-def _zeta(n: int, theta: float, _cache: dict = {}) -> float:
+def _zeta(n: int, theta: float, _cache: Dict[Tuple[int, float], float] = {}) -> float:
     """Truncated zeta function used by the zipfian generator (memoised)."""
     key = (n, theta)
     if key not in _cache:

@@ -19,6 +19,7 @@ simulated batch_size=25 ... (1.9s)`` lines).
 
 from __future__ import annotations
 
+import logging
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
 from dataclasses import dataclass, field
@@ -42,7 +43,10 @@ from repro.sweep.spec import (
     point_digest,
     resolve_point,
 )
+from repro.errors import ConfigurationError
 from repro.sweep.store import ResultStore
+
+logger = logging.getLogger("repro.sweep")
 
 ProgressCallback = Callable[["PointOutcome", int, int], None]
 
@@ -102,15 +106,16 @@ def _timed_simulate(
     ``collect_seconds`` (metric collection + serialisation).  Stored next to
     each result so warm-pool amortisation is measurable from the store.
     """
+    # lint: ignore[DET001] host wall-clock accounting (feeds `timing`, never a digest)
     started = time.perf_counter()
     simulation = build_simulation(resolved, tracer_enabled=tracer_enabled)
-    setup_seconds = time.perf_counter() - started
+    setup_seconds = time.perf_counter() - started  # lint: ignore[DET001] host timing
     result = simulation.run(
         duration=float(resolved["duration"]),  # type: ignore[arg-type]
         warmup=float(resolved["warmup"]),  # type: ignore[arg-type]
     )
     result_dict = result_to_dict(result)
-    total = time.perf_counter() - started
+    total = time.perf_counter() - started  # lint: ignore[DET001] host timing
     simulate_seconds = result.wall_clock_seconds
     timing = {
         "setup_seconds": setup_seconds,
@@ -314,13 +319,21 @@ def run_sweep(
     (``obs``) across the pool, and the simulated fingerprint — hence the
     store's digest — is unchanged.
     """
+    # lint: ignore[DET001] host wall-clock accounting (report wall time, never a digest)
     started = time.perf_counter()
     sweep = expand_replicates(sweep)
     outcomes: List[PointOutcome] = []
     for point in sweep.points:
         try:
             resolved = resolve_point(sweep, point)
-        except Exception as exc:  # invalid overrides surface as failed points
+        except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+            # Invalid overrides surface as failed points, not a dead sweep:
+            # ConfigurationError from validation, Key/Type/ValueError from
+            # bad override values reaching the config constructors.
+            logger.warning(
+                "point %s failed to resolve: %s: %s",
+                _format_labels(point), type(exc).__name__, exc,
+            )
             outcomes.append(
                 PointOutcome(
                     point=point,
@@ -396,7 +409,14 @@ def run_sweep(
     def harvest(future, outcome: PointOutcome) -> None:
         try:
             outcome.result_dict, outcome.timing = future.result()
-        except Exception as exc:  # worker died or raised
+        except Exception as exc:
+            # Process-boundary catch: a worker can die (BrokenExecutor) or
+            # re-raise literally anything the simulation threw.  Never
+            # silent — the failure is logged and recorded on the outcome.
+            logger.warning(
+                "point %s failed in worker: %s: %s",
+                _format_labels(outcome.point), type(exc).__name__, exc,
+            )
             if _should_retry(exc, outcome.retries):
                 # Worker death: the point gets one more attempt on a fresh
                 # pool (the broken pool poisons every pending future, so
@@ -485,18 +505,26 @@ def run_sweep(
             discard_shared_pool(terminate=True)
     else:
         for outcome in executable:
-            point_started = time.perf_counter()
+            point_started = time.perf_counter()  # lint: ignore[DET001] host timing
             try:
                 outcome.result_dict, outcome.timing = _timed_simulate(
                     outcome.resolved, tracer_enabled=tracer_enabled
                 )
             except Exception as exc:
+                # In-process simulation failure: arbitrary exception type,
+                # logged and recorded on the outcome (never swallowed).
+                logger.warning(
+                    "point %s failed: %s: %s",
+                    _format_labels(outcome.point), type(exc).__name__, exc,
+                )
                 outcome.error = f"{type(exc).__name__}: {exc}"
+            # lint: ignore[DET001] wall_clock_seconds is a declared HOST_SPEED_FIELDS field
             outcome.wall_clock_seconds = time.perf_counter() - point_started
             finish(outcome)
 
     return SweepReport(
         sweep=sweep,
         outcomes=outcomes,
+        # lint: ignore[DET001] report wall time is host-side accounting
         wall_clock_seconds=time.perf_counter() - started,
     )

@@ -54,6 +54,37 @@ def result_from_dict(payload: Mapping[str, object]) -> SimulationResult:
 #: contribute to a simulated fingerprint (obs on/off digests stay identical).
 HOST_SPEED_FIELDS = ("wall_clock_seconds", "obs")
 
+#: Every other :class:`SimulationResult` field — a pure function of the
+#: resolved point spec, covered by ``simulated_fingerprint`` and therefore
+#: by every serial-vs-pool / crypto-backend / obs-on-off A/B identity suite.
+#: The DIG002 lint rule requires ``HOST_SPEED_FIELDS`` and this tuple to
+#: partition the dataclass exactly, so a new result field cannot land
+#: without deciding which side of the fingerprint it lives on (the bug
+#: class PR 7 had to design around when attaching ``obs``).
+SIMULATED_RESULT_FIELDS = (
+    "duration",
+    "warmup",
+    "committed_txns",
+    "aborted_txns",
+    "throughput_txn_per_sec",
+    "latency",
+    "completed_requests",
+    "client_retransmissions",
+    "spawned_executors",
+    "cloud_invocations",
+    "view_changes",
+    "verifier_ignored_verify",
+    "verifier_replace_sent",
+    "verifier_errors_sent",
+    "messages_sent",
+    "messages_dropped",
+    "bytes_sent",
+    "events_processed",
+    "billing",
+    "cents_per_kilo_txn",
+    "extra",
+)
+
 
 def simulated_fingerprint(payload: Mapping[str, object]) -> Dict[str, object]:
     """The simulated-time metrics of a result dict, host-speed fields removed.

@@ -31,10 +31,11 @@ import dataclasses
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.spec import (
     SPEC_SCHEMA_VERSION,
+    ScenarioSelector,
     jsonify as _jsonify,
     normalize_scenarios,
     replicate_fields,
@@ -51,7 +52,7 @@ from repro.sim.rng import derive_seed
 __all_dynamic__ = ("SYSTEMS",)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Tuple[str, ...]:
     # Backwards compatibility: the frozen SYSTEMS tuple became the pluggable
     # registry; reading it now reflects runtime registrations too.
     if name == "SYSTEMS":
@@ -72,7 +73,13 @@ class GridSpec:
 
     axes: Tuple[Tuple[str, Tuple[object, ...]], ...]
 
-    def __init__(self, axes) -> None:
+    def __init__(
+        self,
+        axes: Union[
+            Mapping[str, Sequence[object]],
+            Iterable[Tuple[str, Sequence[object]]],
+        ],
+    ) -> None:
         if isinstance(axes, Mapping):
             pairs = tuple((name, tuple(values)) for name, values in axes.items())
         else:
@@ -137,7 +144,7 @@ class PointSpec:
     workload: Mapping[str, object] = field(default_factory=dict)
     system: str = "serverless_bft"
     consensus_engine: str = "pbft"
-    scenario: object = "baseline"
+    scenario: ScenarioSelector = "baseline"
     execution_threads: int = 16
     duration: float = 2.0
     warmup: float = 0.4
@@ -332,7 +339,7 @@ def sweep_from_grid(
     warmup: float = 0.4,
     config: Optional[Mapping[str, object]] = None,
     workload: Optional[Mapping[str, object]] = None,
-    scenario: object = "baseline",
+    scenario: ScenarioSelector = "baseline",
     system: str = "serverless_bft",
     replicates: int = 1,
 ) -> SweepSpec:

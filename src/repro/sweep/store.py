@@ -30,10 +30,13 @@ crashes.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Dict, Iterator, Mapping, Optional
 
 from repro.sweep.serialization import RESULT_SCHEMA_TAG
+
+logger = logging.getLogger("repro.sweep.store")
 
 
 class ResultStore:
@@ -52,14 +55,21 @@ class ResultStore:
         if not os.path.exists(self._path):
             return
         with open(self._path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn write from an interrupted run
+                    # Torn write from an interrupted run: skipping it is the
+                    # documented recovery path, but never a silent one — a
+                    # store that loses lines for any *other* reason must be
+                    # diagnosable from the logs.
+                    logger.warning(
+                        "%s:%d: skipping corrupt/torn record", self._path, lineno
+                    )
+                    continue
                 digest = record.get("digest")
                 if (
                     isinstance(digest, str)

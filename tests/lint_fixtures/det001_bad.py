@@ -1,0 +1,53 @@
+"""DET001 bad fixture: every nondeterminism source the rule must catch.
+
+Includes a faithful reconstruction of the PR 2 incident: the seed's
+``DecentralizedSpawnPolicy`` staggered region choice with the builtin
+``hash()``, which is randomised per process — decentralized-spawning
+results silently differed across pool workers until the serial-vs-pool
+A/B suite happened to cover that configuration.
+"""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+class DecentralizedSpawnPolicy:
+    """The PR 2 bug, as shipped: builtin hash() in a per-node stagger."""
+
+    def pick_region(self, node_name, regions):
+        # BUG: hash("node-3") differs between processes (PYTHONHASHSEED),
+        # so each pool worker staggers regions differently.
+        stagger = hash(node_name) % len(regions)  # <- DET001 (the PR 2 bug)
+        return regions[stagger]
+
+
+def wall_clock_everywhere():
+    a = time.time()  # <- DET001
+    b = time.monotonic()  # <- DET001
+    c = time.perf_counter()  # <- DET001
+    d = datetime.now()  # <- DET001
+    return a, b, c, d
+
+
+def unseeded_randomness(options):
+    jitter = random.random()  # <- DET001
+    pick = random.choice(options)  # <- DET001
+    rng = random.Random()  # <- DET001 (no seed)
+    token = os.urandom(8)  # <- DET001
+    run_id = uuid.uuid4()  # <- DET001
+    return jitter, pick, rng, token, run_id
+
+
+def address_ordering(messages):
+    # id() orders by CPython object address — differs run to run.
+    return sorted(messages, key=lambda message: id(message))  # <- DET001
+
+
+def raw_set_iteration(nodes):
+    total = 0
+    for node in set(nodes):  # <- DET001 (hash-seed-dependent order)
+        total ^= total + node
+    return total

@@ -1,0 +1,35 @@
+"""DET001 good fixture: the deterministic counterparts of every bad site."""
+
+import zlib
+from random import Random
+
+
+class DecentralizedSpawnPolicy:
+    """The PR 2 fix: crc32 is stable across processes and hash seeds."""
+
+    def pick_region(self, node_name, regions):
+        stagger = zlib.crc32(node_name.encode("utf-8")) % len(regions)
+        return regions[stagger]
+
+
+def virtual_clock(sim):
+    # Simulated code reads virtual time from the kernel, never the host.
+    return sim.now
+
+
+def seeded_randomness(options, seed):
+    rng = Random(seed)  # explicit seed: fine
+    jitter = rng.random()  # bound-method draw on a seeded RNG: fine
+    pick = rng.choice(options)
+    return jitter, pick
+
+
+def stable_ordering(messages):
+    return sorted(messages, key=lambda message: message.seq)
+
+
+def sorted_set_iteration(nodes):
+    total = 0
+    for node in sorted(set(nodes)):  # sorted() wraps the set: fine
+        total ^= total + node
+    return total

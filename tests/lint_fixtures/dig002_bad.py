@@ -1,0 +1,28 @@
+"""DIG002 bad fixture: a RunSpec-shaped class with undeclared/stale fields.
+
+``trace_level`` is the PR 7 bug class: a collection knob added to the spec
+without deciding whether it enters the content address.  The declarations
+are also stale (``warmup`` was removed from the class but not the list).
+"""
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+ADDRESSED_RUNSPEC_FIELDS = (
+    "system",
+    "seed",
+    "duration",
+    "warmup",  # stale: the class below has no such field any more
+)
+
+NON_ADDRESSED_RUNSPEC_FIELDS = ("replicates",)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    system: str = "serverless_bft"
+    seed: int = 1
+    duration: float = 2.0
+    replicates: int = 1
+    trace_level: int = 0  # <- DIG002: in neither declaration
+    overrides: Mapping[str, object] = field(default_factory=dict)  # <- DIG002

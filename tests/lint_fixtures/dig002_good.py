@@ -1,0 +1,16 @@
+"""DIG002 good fixture: every field declared on exactly one side."""
+
+from dataclasses import dataclass
+
+ADDRESSED_RUNSPEC_FIELDS = ("system", "seed", "duration")
+
+NON_ADDRESSED_RUNSPEC_FIELDS = ("replicates", "tracer_enabled")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    system: str = "serverless_bft"
+    seed: int = 1
+    duration: float = 2.0
+    replicates: int = 1
+    tracer_enabled: bool = False

@@ -1,0 +1,28 @@
+"""EXC005 bad fixture: swallowed failures in worker/store-shaped code."""
+
+
+def harvest_results(futures, outcomes):
+    for future, outcome in futures:
+        try:
+            outcomes.append(future.result())
+        except Exception:  # <- EXC005: worker death becomes a missing result
+            pass
+
+
+def load_records(lines, records):
+    for line in lines:
+        try:
+            records.append(parse(line))
+        except:  # noqa: E722  <- EXC005: bare except eats KeyboardInterrupt
+            continue
+
+
+def flush_best_effort(handle):
+    try:
+        handle.flush()
+    except BaseException:  # <- EXC005: silent
+        ...
+
+
+def parse(line):
+    return line

@@ -1,0 +1,34 @@
+"""EXC005 good fixture: failures handled, recorded, or typed."""
+
+import json
+import logging
+
+logger = logging.getLogger("fixture")
+
+
+def harvest_results(futures, outcomes, errors):
+    for future, outcome in futures:
+        try:
+            outcomes.append(future.result())
+        except Exception as exc:
+            # Broad at a process boundary is fine when handled: the failure
+            # is logged and recorded, never swallowed.
+            logger.warning("point failed in worker: %s", exc)
+            errors.append(f"{type(exc).__name__}: {exc}")
+
+
+def load_records(lines, records):
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            logger.warning("line %d: skipping torn record", lineno)
+
+
+def optional_backend_available():
+    try:
+        import matplotlib  # noqa: F401
+
+        return True
+    except ImportError:
+        return False

@@ -1,0 +1,29 @@
+"""MUT004 bad fixture: frozen-message mutation outside constructors."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrepareMsg:
+    view: int
+    seq: int
+    digest: str
+
+    def canonical(self):
+        return f"prepare:{self.view}:{self.seq}:{self.digest}"
+
+
+def redirect_vote(message, new_digest):
+    # Mutating a canonical field after construction: the cached-digest memo
+    # (seeded the first time anything hashed this message) now disagrees
+    # with the bytes every later signature check covers.
+    object.__setattr__(message, "digest", new_digest)  # <- MUT004
+    return message
+
+
+def patch_dynamic(message, attr_name, value):
+    object.__setattr__(message, attr_name, value)  # <- MUT004 (unprovable)
+
+
+def poke_dict(message, new_digest):
+    message.__dict__["digest"] = new_digest  # <- MUT004 (__dict__ bypass)

@@ -1,0 +1,32 @@
+"""MUT004 good fixture: the sanctioned construction and memo patterns."""
+
+import dataclasses
+from dataclasses import dataclass
+
+_DIGEST_ATTR = "_cached_digest"
+
+
+@dataclass(frozen=True)
+class PrepareMsg:
+    view: int
+    seq: int
+    digest: str
+    normalized: str = ""
+
+    def __post_init__(self):
+        # Constructors may finish initialising frozen fields.
+        object.__setattr__(self, "normalized", self.digest.lower())
+
+    def canonical(self):
+        return f"prepare:{self.view}:{self.seq}:{self.digest}"
+
+
+def memoise_digest(message, computed):
+    # Underscore namespace: derived memo, never part of canonical().
+    object.__setattr__(message, "_sig_valid", True)
+    object.__setattr__(message, _DIGEST_ATTR, computed)
+
+
+def redirect_vote(message, new_digest):
+    # The sound way to "change" a frozen message: build a new one.
+    return dataclasses.replace(message, digest=new_digest)
