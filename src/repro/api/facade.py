@@ -129,11 +129,14 @@ def spec_digest(spec: RunSpec) -> str:
 def run(spec: RunSpec, store=None) -> SimulationResult:
     """Resolve, build, and run one deployment — the single front door.
 
-    ``store`` (a :class:`repro.sweep.store.ResultStore`, or a path string
-    for one) gives ad-hoc facade runs the same cache-hit/resume behaviour
-    sweeps already have: the run's content address (:func:`spec_digest`) is
-    looked up before building anything, and a finished run is appended to
-    the store so the next identical ``run`` call never re-simulates.
+    ``store`` (any :class:`repro.store.ResultBackend`, or a store URL —
+    a JSONL path, ``sqlite://path.db``, or ``shard://dir``) gives ad-hoc
+    facade runs the same cache-hit/resume behaviour sweeps already have:
+    the run's content address (:func:`spec_digest`) is looked up before
+    building anything, and a finished run is appended to the store so the
+    next identical ``run`` call never re-simulates.  The backend choice is
+    host-side bookkeeping — it never affects the content address or the
+    result.
 
     Bespoke fault objects attached directly to the spec
     (``node_behaviours`` / ``executor_behaviour_factory`` /
@@ -158,12 +161,11 @@ def run(spec: RunSpec, store=None) -> SimulationResult:
                 "content address); register the faults as a scenario preset "
                 "and name it in RunSpec.scenarios instead"
             )
+        from repro.store.url import as_backend
         from repro.sweep.serialization import result_from_dict
         from repro.sweep.spec import point_digest
-        from repro.sweep.store import ResultStore
 
-        if isinstance(store, str):
-            store = ResultStore(store)
+        store = as_backend(store)
         digest = point_digest(resolved)
         record = store.get(digest)
         if record is not None:
@@ -214,11 +216,11 @@ def run_replicates(
     trace collection is bit-identical to the serial path.
     """
     if isinstance(store, str):
-        # Load the JSONL file once for the whole family, not once per
-        # replicate (run() accepts a path too, but re-parses it each call).
-        from repro.sweep.store import ResultStore
+        # Open the backend once for the whole family, not once per
+        # replicate (run() accepts a URL too, but re-opens it each call).
+        from repro.store.url import open_store
 
-        store = ResultStore(store)
+        store = open_store(store)
     specs = replicate_specs(spec)
     if workers <= 1 or len(specs) <= 1:
         return [run(replicate, store=store) for replicate in specs]

@@ -25,6 +25,12 @@ class StorageError(ReproError):
     """The on-premise data store was accessed incorrectly."""
 
 
+class StoreError(ReproError):
+    """The result warehouse hit an unresolvable condition (e.g. a shard
+    merge found two records for one digest disagreeing on addressed
+    fields — a determinism violation, not a tie to break)."""
+
+
 class CloudError(ReproError):
     """The serverless cloud rejected a request (limits, unknown region)."""
 

@@ -1,4 +1,5 @@
-"""DIG002 — content-address drift in ``RunSpec`` / ``SimulationResult``.
+"""DIG002 — content-address drift in ``RunSpec`` / ``SimulationResult`` /
+``StoreRecord``.
 
 Why this rule exists: the result store, sweep resumption, and every A/B
 bit-identity suite key on content addresses — the SHA-256 of a resolved run
@@ -20,6 +21,12 @@ must appear in exactly one declared partition:
 * ``SimulationResult`` fields (``src/repro/core/runner.py``) partition
   into ``SIMULATED_RESULT_FIELDS`` and ``HOST_SPEED_FIELDS`` (both in
   ``src/repro/sweep/serialization.py``).
+* ``StoreRecord`` fields (``src/repro/store/record.py``) partition into
+  ``ADDRESSED_RECORD_FIELDS`` (pure functions of the point's content
+  address — a shard merge treats same-digest disagreement here as a
+  determinism violation) and ``HOST_SIDE_RECORD_FIELDS`` (run provenance,
+  resolved by deterministic tie-break).  A new warehouse field cannot
+  land without deciding whether merges must agree on it.
 
 Adding a field without extending a declaration, leaving a stale name in a
 declaration, or listing a field in both partitions is an error at the
@@ -44,6 +51,7 @@ from repro.lint.rules import ProjectRule, RawFinding, register
 _PARTITIONS = {
     "RunSpec": ("ADDRESSED_RUNSPEC_FIELDS", "NON_ADDRESSED_RUNSPEC_FIELDS"),
     "SimulationResult": ("SIMULATED_RESULT_FIELDS", "HOST_SPEED_FIELDS"),
+    "StoreRecord": ("ADDRESSED_RECORD_FIELDS", "HOST_SIDE_RECORD_FIELDS"),
 }
 
 
@@ -96,8 +104,8 @@ class DigestDriftRule(ProjectRule):
 
     code = "DIG002"
     summary = (
-        "RunSpec/SimulationResult field not declared addressed or host-speed "
-        "(content-address drift)"
+        "RunSpec/SimulationResult/StoreRecord field not declared addressed "
+        "or host-side (content-address drift)"
     )
 
     def check_project(

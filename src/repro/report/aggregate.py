@@ -350,17 +350,27 @@ def load_store_points(
     sweeps: Optional[Sequence[str]] = None,
     scalar_metrics: Sequence[Tuple[str, str]] = DEFAULT_SCALAR_METRICS,
 ) -> Dict[str, List[SeriesPoint]]:
-    """Aggregate a :class:`~repro.sweep.store.ResultStore` by sweep name.
+    """Aggregate a result store by sweep name.
 
-    ``sweeps`` optionally filters to the named sweeps.  Purely a read of
-    the store — nothing here can trigger a simulation.
+    ``store`` is any :class:`repro.store.ResultBackend` (JSONL, sqlite, or
+    sharded — the sweep-name filter is pushed down to the backend, which
+    an indexed backend answers without scanning every record), or any
+    duck-typed object exposing ``digests()``/``get()``.  ``sweeps``
+    optionally filters to the named sweeps.  Purely a read of the store —
+    nothing here can trigger a simulation, and the aggregation is a pure
+    function of the record set, so every backend holding the same records
+    renders byte-identical output.
     """
-    wanted = set(sweeps) if sweeps else None
-    records = [
-        record
-        for record in (store.get(digest) for digest in store.digests())
-        if wanted is None or record.get("sweep") in wanted
-    ]
+    wanted = sorted(set(sweeps)) if sweeps else None
+    if hasattr(store, "iter_records"):
+        records = list(store.iter_records(sweeps=wanted))
+    else:
+        wanted_set = set(wanted) if wanted else None
+        records = [
+            record
+            for record in (store.get(digest) for digest in store.digests())
+            if wanted_set is None or record.get("sweep") in wanted_set
+        ]
     grouped: Dict[str, List[SeriesPoint]] = {}
     for point in aggregate_records(records, scalar_metrics):
         grouped.setdefault(point.sweep, []).append(point)

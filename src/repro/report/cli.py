@@ -22,9 +22,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ReproError
 from repro.report.render import render_markdown
-from repro.sweep.store import ResultStore
+from repro.store.url import open_store
 
 
 def _model_preset_sections(names: Optional[List[str]]) -> str:
@@ -53,7 +53,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--store",
         required=True,
-        help="JSONL result-store path to aggregate (see python -m repro.sweep run)",
+        help="result-store URL to aggregate: a JSONL path, sqlite://path.db, "
+        "or shard://dir (see python -m repro.sweep run)",
     )
     parser.add_argument(
         "--output",
@@ -89,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        store = ResultStore(args.store)
+        store = open_store(args.store)
         document = render_markdown(store, sweeps=args.sweep)
         # --fail-empty judges the *measured* document: the always-populated
         # model-preset tables must not be able to mask an empty store render.
@@ -109,7 +110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 4
         if args.model_presets:
             document += "\n" + _model_preset_sections(None)
-    except (ConfigurationError, OSError) as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,8 @@
+"""``python -m repro.store`` — see :mod:`repro.store.cli`."""
+
+import sys
+
+from repro.store.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""``ResultBackend`` — the protocol every result store speaks.
+
+The sweep runner, the facade, the report layer, and the CLIs are all
+written against this protocol, never against a concrete class: anything
+that can answer "have I simulated this digest?" (``__contains__``/``get``)
+and durably record a finished point (``put``) can back a sweep, and
+anything that can stream its records (``iter_records``/``select``) can
+feed a report.  Three implementations ship: the original append-only JSONL
+file (:class:`~repro.store.jsonl.JsonlBackend`), an indexed sqlite
+database (:class:`~repro.store.sqlite.SqliteBackend`), and a directory of
+per-worker shards (:class:`~repro.store.sharded.ShardedStore`).
+
+The contract every backend honours:
+
+* **Durability** — ``put`` returns only after the record reached the disk
+  (fsync for JSONL appends, a synchronous WAL commit for sqlite), so a
+  point the runner reported as persisted survives a host crash.
+* **Cache-hit semantics** — ``get``/``__contains__`` serve only records
+  whose ``result_schema`` matches the current layout tag; stale records
+  are counted (``stat().schema_skips``), never silently dropped.
+* **Isolation of the cache** — ``get`` and ``iter_records`` hand out
+  copies; mutating a returned record cannot corrupt later reads.
+* **Backend neutrality** — the same sweep produces the same digests and
+  the same cache hits whichever backend stores it; the record payloads are
+  byte-identical under :func:`~repro.store.record.canonical_line`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+
+@dataclass(frozen=True)
+class StoreStat:
+    """What ``repro.store stat`` reports about one backend."""
+
+    url: str
+    backend: str  # "jsonl" | "sqlite" | "shard"
+    records: int
+    #: Well-formed records ignored because their ``result_schema`` tag is
+    #: stale — the countable "why is my cache cold" diagnostic.
+    schema_skips: int
+    #: Corrupt/torn lines skipped at load (JSONL backends only).
+    torn_skips: int
+    #: Record count per sweep name, sorted by name.
+    sweeps: Dict[str, int] = field(default_factory=dict)
+    #: Per-shard record counts (sharded stores only), sorted by shard file.
+    shards: Dict[str, int] = field(default_factory=dict)
+
+
+@runtime_checkable
+class ResultBackend(Protocol):
+    """Digest-keyed persistent result store (see module docstring)."""
+
+    @property
+    def path(self) -> str:
+        """The backend's location string (file, database, or directory)."""
+        ...
+
+    def __len__(self) -> int:
+        """Loadable (current-schema) record count."""
+        ...
+
+    def __contains__(self, digest: str) -> bool:
+        ...
+
+    def digests(self) -> Iterator[str]:
+        ...
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """A *copy* of the record for ``digest``, or None if never simulated."""
+        ...
+
+    def put(
+        self,
+        digest: str,
+        resolved_point: Mapping[str, object],
+        result: Mapping[str, object],
+        sweep_name: str = "",
+        timing: Optional[Mapping[str, float]] = None,
+        retries: int = 0,
+    ) -> Dict[str, object]:
+        """Durably record one finished point; returns the stored record."""
+        ...
+
+    def put_record(self, record: Mapping[str, object]) -> Dict[str, object]:
+        """Store an already-built record verbatim (migrate/merge path)."""
+        ...
+
+    def iter_records(
+        self, sweeps: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Stream copies of the loadable records, optionally by sweep name."""
+        ...
+
+    def select(
+        self,
+        where: Optional[Mapping[str, object]] = None,
+        sweeps: Optional[Sequence[str]] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """Stream records matching a dotted-path where clause.
+
+        Semantics are defined by :func:`repro.store.query.matches`; backends
+        may use native indexes to narrow the scan but must not change which
+        records come back.
+        """
+        ...
+
+    def stat(self) -> StoreStat:
+        ...

@@ -1,0 +1,243 @@
+"""Append-only JSONL backend — the original result-store file format.
+
+Each record keys a simulation result by the SHA-256 digest of its resolved
+point spec (see :func:`repro.sweep.spec.point_digest`).  Re-running a sweep
+looks every point up before simulating, so completed points are never
+re-simulated and an interrupted sweep resumes where it stopped: records are
+appended and flushed one by one as points finish.
+
+The file format is one key-sorted JSON object per line::
+
+    {"digest": "...", "sweep": "...", "labels": {...}, "result_schema": "...",
+     "point": {resolved spec...}, "result": {result dict...}}
+
+Records are durable once reported: every append is flushed *and* fsynced,
+so a point the runner has announced as persisted survives a host or
+container crash, not just a process exit.  Appends additionally take an
+advisory ``flock`` on the file (where the platform provides one), so two
+*processes* appending to the same store interleave whole records, never
+bytes.  Corrupt or truncated lines (a run killed mid-write) are skipped on
+load — wherever they sit in the file, valid records before and after a
+torn one still load — and a later append first repairs a torn tail with a
+newline so the new record never concatenates onto the debris.  The digest
+of a well-formed record is trusted — it was computed from the stored
+``point`` payload by the writer and is re-derivable from it.
+
+Records whose ``result_schema`` tag does not match the current
+:data:`~repro.store.record.RESULT_SCHEMA_TAG` are ignored: the point
+digest only covers the *input* spec, so a result-layout change must turn
+old records into cache misses (and a re-simulation), not deserialisation
+crashes.  Unlike torn lines, such skips are *counted* — the total is
+logged at load and surfaces in ``repro.store stat`` — so a cold cache is
+diagnosable, not a mystery.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import logging
+import os
+from typing import Dict, Iterator, Mapping, Optional, Sequence
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts: no advisory locks
+    fcntl = None  # type: ignore[assignment]
+
+from repro.store.query import matches
+from repro.store.record import (
+    STATUS_OK,
+    STATUS_STALE_SCHEMA,
+    RESULT_SCHEMA_TAG,
+    canonical_line,
+    make_record,
+    record_status,
+)
+from repro.store.backend import StoreStat
+
+logger = logging.getLogger("repro.store.jsonl")
+
+
+class JsonlBackend:
+    """Digest-keyed persistent result cache backed by one JSONL file."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._records: Dict[str, dict] = {}
+        self._schema_skips = 0
+        self._torn_skips = 0
+        self._load()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def schema_skips(self) -> int:
+        """Well-formed records ignored at load for a stale result_schema."""
+        return self._schema_skips
+
+    @property
+    def torn_skips(self) -> int:
+        """Corrupt/torn lines skipped at load."""
+        return self._torn_skips
+
+    def _load(self) -> None:
+        if not os.path.exists(self._path):
+            return
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn write from an interrupted run: skipping it is the
+                    # documented recovery path, but never a silent one — a
+                    # store that loses lines for any *other* reason must be
+                    # diagnosable from the logs.
+                    self._torn_skips += 1
+                    logger.warning(
+                        "%s:%d: skipping corrupt/torn record", self._path, lineno
+                    )
+                    continue
+                status = record_status(record)
+                if status == STATUS_OK:
+                    self._records[record["digest"]] = record
+                elif status == STATUS_STALE_SCHEMA:
+                    self._schema_skips += 1
+                else:
+                    self._torn_skips += 1
+        if self._schema_skips:
+            # The "why is my cache cold" diagnostic: stale-layout records
+            # are deliberate cache misses, and there can be thousands of
+            # them after a SimulationResult change — one summary line, not
+            # one warning per record.
+            logger.warning(
+                "%s: ignored %d record(s) with a stale result_schema "
+                "(current tag %s); they will re-simulate as cache misses",
+                self._path,
+                self._schema_skips,
+                RESULT_SCHEMA_TAG,
+            )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._records
+
+    def digests(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, digest: str) -> Optional[dict]:
+        """A copy of the stored record for ``digest``, or None.
+
+        A *copy*, deliberately: the in-memory map is the cache the rest of
+        the run is served from, and callers routinely massage the record
+        they get back (result post-processing, label edits for display).
+        Handing out the internal dict would let any such edit silently
+        corrupt every later cache hit for the same digest.
+        """
+        record = self._records.get(digest)
+        return copy.deepcopy(record) if record is not None else None
+
+    def _tail_is_torn(self) -> bool:
+        """Whether the file ends in a partial line (crash mid-append).
+
+        Appending straight after a torn tail would concatenate the new
+        record onto the debris, turning one lost line into two.
+        """
+        try:
+            with open(self._path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):  # missing or empty file
+            return False
+
+    def put(
+        self,
+        digest: str,
+        resolved_point: Mapping[str, object],
+        result: Mapping[str, object],
+        sweep_name: str = "",
+        timing: Optional[Mapping[str, float]] = None,
+        retries: int = 0,
+    ) -> dict:
+        """Record one finished point: append, flush, and fsync.
+
+        The fsync is what makes "persisted" mean persisted: without it a
+        host or container crash could lose points the runner already
+        reported as cached for the next run.  See
+        :func:`repro.store.record.make_record` for what ``timing`` and
+        ``retries`` record.
+        """
+        return self.put_record(
+            make_record(digest, resolved_point, result, sweep_name, timing, retries)
+        )
+
+    def put_record(self, record: Mapping[str, object]) -> dict:
+        """Append an already-built record: lock, repair, write, fsync.
+
+        The advisory ``flock`` makes multi-process appends safe: the torn-
+        tail check and the write happen under one exclusive lock, so two
+        workers appending to a shared store can neither interleave bytes
+        nor both "repair" the same tail.  On platforms without ``fcntl``
+        the append falls back to the single-writer discipline the store
+        always had.
+        """
+        stored = dict(record)
+        directory = os.path.dirname(self._path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self._path, "a", encoding="utf-8") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                # Check the tail *under the lock*: another process may have
+                # appended (or repaired) since this handle was opened.
+                if self._tail_is_torn():
+                    handle.write("\n")
+                handle.write(canonical_line(stored) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        if record_status(stored) == STATUS_OK:
+            self._records[stored["digest"]] = stored
+        return stored
+
+    def iter_records(
+        self, sweeps: Optional[Sequence[str]] = None
+    ) -> Iterator[dict]:
+        """Copies of the loadable records, optionally filtered by sweep name."""
+        wanted = set(sweeps) if sweeps is not None else None
+        for record in self._records.values():
+            if wanted is None or record.get("sweep") in wanted:
+                yield copy.deepcopy(record)
+
+    def select(
+        self,
+        where: Optional[Mapping[str, object]] = None,
+        sweeps: Optional[Sequence[str]] = None,
+    ) -> Iterator[dict]:
+        for record in self.iter_records(sweeps):
+            if matches(record, where):
+                yield record
+
+    def stat(self) -> StoreStat:
+        sweeps: Dict[str, int] = {}
+        for record in self._records.values():
+            name = str(record.get("sweep", ""))
+            sweeps[name] = sweeps.get(name, 0) + 1
+        return StoreStat(
+            url=self._path,
+            backend="jsonl",
+            records=len(self._records),
+            schema_skips=self._schema_skips,
+            torn_skips=self._torn_skips,
+            sweeps=dict(sorted(sweeps.items())),
+        )

@@ -1,0 +1,260 @@
+"""Indexed sqlite backend — the queryable half of the result warehouse.
+
+One table, keyed by digest, holding the full canonical record JSON plus
+indexed columns for what queries actually filter and sort on: sweep name,
+system, scenario, the labels dict (queried through sqlite's JSON1
+``json_extract``), and the headline result scalars.  Thousand-point sweeps
+stop being grep-a-JSONL exercises: ``repro.store query`` and
+``repro.report`` narrow by index instead of materialising every record.
+
+Durability matches the JSONL contract: the database runs in WAL mode with
+``synchronous=FULL``, so a committed ``put`` has reached the disk before
+the call returns, and concurrent readers never block the writer (nor the
+writer them).  Cross-process writers serialise on sqlite's own write lock
+with a generous busy timeout — two sweep processes appending to the same
+database interleave whole transactions, never partial records.
+
+Schema discipline is shared with every other backend through
+:mod:`repro.store.record`: rows whose ``result_schema`` tag is stale stay
+in the table (the data is not destroyed) but are invisible to
+``get``/``digests``/``select`` and are counted by ``stat()`` — the same
+countable cache-miss diagnostic the JSONL backend logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.store.backend import StoreStat
+from repro.store.query import matches
+from repro.store.record import RESULT_SCHEMA_TAG, canonical_line, make_record
+
+#: URL prefix understood by :func:`repro.store.url.open_store`.
+URL_PREFIX = "sqlite://"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    digest TEXT PRIMARY KEY,
+    result_schema TEXT NOT NULL,
+    sweep TEXT NOT NULL DEFAULT '',
+    system TEXT NOT NULL DEFAULT '',
+    scenario TEXT NOT NULL DEFAULT '',
+    labels TEXT NOT NULL DEFAULT '{}',
+    throughput_txn_per_sec REAL,
+    committed_txns INTEGER,
+    aborted_txns INTEGER,
+    latency_mean REAL,
+    record TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_sweep ON results (sweep);
+CREATE INDEX IF NOT EXISTS idx_results_system_scenario
+    ON results (system, scenario);
+CREATE INDEX IF NOT EXISTS idx_results_schema ON results (result_schema);
+CREATE INDEX IF NOT EXISTS idx_results_throughput
+    ON results (throughput_txn_per_sec);
+"""
+
+#: Where-clause paths that map straight onto indexed TEXT columns.
+_COLUMN_PATHS = {
+    "sweep": "sweep",
+    "point.system": "system",
+    "point.scenario": "scenario",
+}
+
+
+class SqliteBackend:
+    """Digest-keyed result store backed by one indexed sqlite database."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        # WAL: readers never block the writer; FULL: a committed put has
+        # been fsynced — the same durability the JSONL backend promises.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=FULL")
+        # Cross-process writers wait on the write lock instead of failing
+        # with "database is locked" while a peer commits.
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM results WHERE result_schema = ?",
+            (RESULT_SCHEMA_TAG,),
+        ).fetchone()
+        return int(row[0])
+
+    def __contains__(self, digest: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE digest = ? AND result_schema = ?",
+            (digest, RESULT_SCHEMA_TAG),
+        ).fetchone()
+        return row is not None
+
+    def digests(self) -> Iterator[str]:
+        rows = self._conn.execute(
+            "SELECT digest FROM results WHERE result_schema = ? ORDER BY digest",
+            (RESULT_SCHEMA_TAG,),
+        )
+        for (digest,) in rows:
+            yield str(digest)
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The record for ``digest`` (already a fresh parse — safe to mutate)."""
+        row = self._conn.execute(
+            "SELECT record FROM results WHERE digest = ? AND result_schema = ?",
+            (digest, RESULT_SCHEMA_TAG),
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def put(
+        self,
+        digest: str,
+        resolved_point: Mapping[str, object],
+        result: Mapping[str, object],
+        sweep_name: str = "",
+        timing: Optional[Mapping[str, float]] = None,
+        retries: int = 0,
+    ) -> dict:
+        """Durably record one finished point (synchronous WAL commit)."""
+        return self.put_record(
+            make_record(digest, resolved_point, result, sweep_name, timing, retries)
+        )
+
+    def put_record(self, record: Mapping[str, object]) -> dict:
+        stored = dict(record)
+        result = stored.get("result")
+        result = result if isinstance(result, Mapping) else {}
+        point = stored.get("point")
+        point = point if isinstance(point, Mapping) else {}
+        latency = result.get("latency")
+        latency = latency if isinstance(latency, Mapping) else {}
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (digest, result_schema, sweep, "
+            "system, scenario, labels, throughput_txn_per_sec, committed_txns, "
+            "aborted_txns, latency_mean, record) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                str(stored.get("digest")),
+                str(stored.get("result_schema", "")),
+                str(stored.get("sweep", "")),
+                str(point.get("system", "")),
+                str(point.get("scenario", "")),
+                json.dumps(stored.get("labels", {}), sort_keys=True),
+                _as_float(result.get("throughput_txn_per_sec")),
+                _as_int(result.get("committed_txns")),
+                _as_int(result.get("aborted_txns")),
+                _as_float(latency.get("mean")),
+                canonical_line(stored),
+            ),
+        )
+        self._conn.commit()
+        return stored
+
+    def iter_records(
+        self, sweeps: Optional[Sequence[str]] = None
+    ) -> Iterator[dict]:
+        yield from self.select(where=None, sweeps=sweeps)
+
+    def select(
+        self,
+        where: Optional[Mapping[str, object]] = None,
+        sweeps: Optional[Sequence[str]] = None,
+    ) -> Iterator[dict]:
+        """Stream matching records, narrowing by index where possible.
+
+        Indexed columns (sweep, system, scenario) and ``labels.*`` paths
+        (via JSON1) become SQL predicates; every surviving row is still
+        re-checked with :func:`repro.store.query.matches`, so the result
+        set is *defined* by the shared matcher and the SQL is purely a
+        narrowing optimisation — backend neutrality by construction.
+        """
+        clauses: List[str] = ["result_schema = ?"]
+        params: List[object] = [RESULT_SCHEMA_TAG]
+        if sweeps is not None:
+            names = sorted(set(sweeps))
+            clauses.append(
+                "sweep IN (%s)" % ", ".join("?" for _ in names) if names else "0"
+            )
+            params.extend(names)
+        for path, wanted in sorted((where or {}).items()):
+            column = _COLUMN_PATHS.get(path)
+            if column is not None and isinstance(wanted, str):
+                clauses.append(f"{column} = ?")
+                params.append(wanted)
+            elif path.startswith("labels.") and "." not in path[len("labels."):]:
+                if isinstance(wanted, (str, int, float)) and not isinstance(
+                    wanted, bool
+                ):
+                    clauses.append("json_extract(labels, ?) = ?")
+                    params.append("$." + path[len("labels."):])
+                    params.append(wanted)
+        sql = "SELECT record FROM results WHERE " + " AND ".join(clauses)
+        try:
+            rows = self._conn.execute(sql, params).fetchall()
+        except sqlite3.OperationalError:
+            # A build without JSON1: fall back to the unnarrowed scan — the
+            # python-side matcher below still yields the exact result set.
+            rows = self._conn.execute(
+                "SELECT record FROM results WHERE result_schema = ?",
+                (RESULT_SCHEMA_TAG,),
+            ).fetchall()
+        wanted_sweeps = set(sweeps) if sweeps is not None else None
+        for (payload,) in rows:
+            record = json.loads(payload)
+            if wanted_sweeps is not None and record.get("sweep") not in wanted_sweeps:
+                continue
+            if matches(record, where):
+                yield record
+
+    def stat(self) -> StoreStat:
+        schema_skips = int(
+            self._conn.execute(
+                "SELECT COUNT(*) FROM results WHERE result_schema != ?",
+                (RESULT_SCHEMA_TAG,),
+            ).fetchone()[0]
+        )
+        sweeps: Dict[str, int] = {}
+        rows = self._conn.execute(
+            "SELECT sweep, COUNT(*) FROM results WHERE result_schema = ? "
+            "GROUP BY sweep ORDER BY sweep",
+            (RESULT_SCHEMA_TAG,),
+        )
+        for name, count in rows:
+            sweeps[str(name)] = int(count)
+        return StoreStat(
+            url=URL_PREFIX + self._path,
+            backend="sqlite",
+            records=len(self),
+            schema_skips=schema_skips,
+            torn_skips=0,
+            sweeps=sweeps,
+        )
+
+
+def _as_float(value: object) -> Optional[float]:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def _as_int(value: object) -> Optional[int]:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    return None

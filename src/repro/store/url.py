@@ -1,0 +1,59 @@
+"""URL-style store selection: one string names any backend.
+
+Every ``--store`` flag (sweep CLI, report CLI, store CLI) and every
+``store=`` argument of :func:`repro.api.run` accepts the same forms:
+
+* ``results.jsonl`` (any plain file path) — the append-only JSONL backend
+* ``sqlite://results.db`` — the indexed sqlite backend; a bare path ending
+  in ``.db`` / ``.sqlite`` / ``.sqlite3`` selects sqlite too
+* ``shard://results/`` — a sharded directory; a bare path naming an
+  existing directory selects sharding too
+* ``jsonl://results`` — force JSONL for a path the heuristics would
+  misread
+
+The choice is **host-side, never content-addressed**: a record's digest,
+point, and result are identical whichever backend stores them, so switching
+backends (or :func:`repro.store.cli` ``migrate``-ing between them) can
+never change cache hits or report output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.store.backend import ResultBackend
+from repro.store.jsonl import JsonlBackend
+from repro.store.sharded import ShardedStore
+from repro.store.sqlite import SqliteBackend
+
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+def open_store(url: str, shard: Optional[str] = None) -> ResultBackend:
+    """Open the backend a store URL (or bare path) names.
+
+    ``shard`` pins the shard token for ``shard://`` stores (otherwise
+    ``$REPRO_SHARD`` or a hostname-pid default applies); it is ignored by
+    single-file backends.
+    """
+    if url.startswith("sqlite://"):
+        return SqliteBackend(url[len("sqlite://"):])
+    if url.startswith("shard://"):
+        return ShardedStore(url[len("shard://"):], shard=shard)
+    if url.startswith("jsonl://"):
+        return JsonlBackend(url[len("jsonl://"):])
+    if url.endswith(_SQLITE_SUFFIXES):
+        return SqliteBackend(url)
+    if os.path.isdir(url):
+        return ShardedStore(url, shard=shard)
+    return JsonlBackend(url)
+
+
+def as_backend(
+    store: Union[str, ResultBackend, None], shard: Optional[str] = None
+) -> Optional[ResultBackend]:
+    """Coerce a store argument (URL string, backend, or None) to a backend."""
+    if store is None or not isinstance(store, str):
+        return store
+    return open_store(store, shard=shard)

@@ -8,9 +8,12 @@ them into declarative, cacheable, multi-core experiment runs:
   a content-addressed spec (SHA-256 of the fully resolved configuration).
 * :mod:`repro.sweep.runner` — :func:`run_sweep` executes points in-process
   or across CPU cores with bit-identical simulated results either way.
-* :mod:`repro.sweep.store` — :class:`ResultStore`, an append-only JSONL
-  cache keyed by point digest: re-runs skip simulated points, interrupted
-  sweeps resume.
+* :mod:`repro.store` — the result warehouse: backends keyed by point
+  digest (append-only JSONL, indexed sqlite, per-worker shards with a
+  deterministic merge) behind one :class:`~repro.store.ResultBackend`
+  protocol, so re-runs skip simulated points and interrupted sweeps
+  resume no matter which backend holds the records.  ``ResultStore``
+  (re-exported here via :mod:`repro.sweep.store`) *is* the JSONL backend.
 * :mod:`repro.sweep.scenarios` — named fault/workload presets (region
   outage, partitions, byzantine executors, skewed YCSB, ...).
 * :mod:`repro.sweep.presets` — named sweeps (``fig6-executors``, ...) for

@@ -24,6 +24,7 @@ alias for ``python -m repro.report`` and never simulates anything.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -35,13 +36,14 @@ from repro.errors import ConfigurationError
 from repro.sweep.presets import build_sweep, sweep_names
 from repro.sweep.runner import print_progress, run_sweep
 from repro.sweep.scenarios import all_scenarios
+from repro.store.url import open_store
 from repro.sweep.spec import (
     SweepSpec,
     apply_overrides,
+    expand_replicates,
     sweep_from_dict,
     with_replicates,
 )
-from repro.sweep.store import ResultStore
 
 
 def _load_sweep(
@@ -103,17 +105,41 @@ def _parse_set_overrides(pairs: List[str]) -> Dict[str, object]:
     return overrides
 
 
+def _grid_shard(sweep: SweepSpec, index: int, count: int) -> SweepSpec:
+    """This host's slice of the grid: every ``count``-th expanded point.
+
+    Replicates are expanded *before* slicing, so the replicate axis spreads
+    across hosts too; each expanded point is an ordinary pinned-seed point
+    whose digest is independent of the slicing, which is what lets the
+    merged shards serve the full grid back as 100% cache hits.
+    """
+    if not 0 <= index < count:
+        raise ConfigurationError(
+            f"--shard-index must be in [0, {count}), got {index}"
+        )
+    expanded = expand_replicates(sweep)
+    points = expanded.points[index::count]
+    if not points:
+        raise ConfigurationError(
+            f"grid shard {index}/{count} of sweep {sweep.name!r} is empty "
+            f"({len(expanded.points)} points total)"
+        )
+    return dataclasses.replace(expanded, points=points)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         sweep = _load_sweep(args.sweep, args.duration, args.warmup, args.seed)
         sweep = apply_overrides(sweep, _parse_set_overrides(args.set or []))
         if args.replicates is not None:
             sweep = with_replicates(sweep, args.replicates)
+        if args.shard_count > 1:
+            sweep = _grid_shard(sweep, args.shard_index, args.shard_count)
     except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    store = ResultStore(args.store) if args.store else None
+    store = open_store(args.store) if args.store else None
     report = run_sweep(
         sweep,
         workers=args.workers,
@@ -188,7 +214,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--store",
         default="",
-        help="JSONL result-store path (enables caching and resume)",
+        help="result-store URL (enables caching and resume): a JSONL path, "
+        "sqlite://path.db, or shard://dir for per-worker shards",
+    )
+    run.add_argument(
+        "--shard-index",
+        type=int,
+        default=0,
+        metavar="I",
+        help="with --shard-count N: run this host's slice of the grid "
+        "(every N-th expanded point, offset I)",
+    )
+    run.add_argument(
+        "--shard-count",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split the grid across N hosts (pair with a shard:// store; "
+        "merge the shards with 'python -m repro.store merge')",
     )
     run.add_argument(
         "--timeout",
@@ -231,7 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="render EXPERIMENTS.md tables/plots from a result store "
         "(alias for python -m repro.report; never simulates)",
     )
-    report.add_argument("--store", required=True, help="JSONL result-store path")
+    report.add_argument(
+        "--store",
+        required=True,
+        help="result-store URL (JSONL path, sqlite://path.db, or shard://dir)",
+    )
     report.add_argument(
         "--output", default="-", help="markdown output path ('-' for stdout)"
     )

@@ -1,8 +1,9 @@
 """Sweep execution: in-process or fanned out across CPU cores.
 
 ``run_sweep`` resolves every point of a :class:`~repro.sweep.spec.SweepSpec`
-to its content address, serves already-simulated points from the
-:class:`~repro.sweep.store.ResultStore`, and simulates the rest — serially
+to its content address, serves already-simulated points from the result
+store (any :class:`~repro.store.backend.ResultBackend` — JSONL file,
+sqlite database, or sharded directory), and simulates the rest — serially
 in-process (``workers <= 1``) or on a ``ProcessPoolExecutor`` (``workers >
 1``).  Results are bit-identical either way: a worker rebuilds the entire
 deployment from the resolved point dict (which pins every config field and
@@ -44,7 +45,7 @@ from repro.sweep.spec import (
     resolve_point,
 )
 from repro.errors import ConfigurationError
-from repro.sweep.store import ResultStore
+from repro.store.backend import ResultBackend
 
 logger = logging.getLogger("repro.sweep")
 
@@ -296,7 +297,7 @@ def print_progress(outcome: PointOutcome, index: int, total: int) -> None:
 def run_sweep(
     sweep: SweepSpec,
     workers: int = 0,
-    store: Optional[ResultStore] = None,
+    store: Optional[ResultBackend] = None,
     timeout: Optional[float] = None,
     progress: Optional[ProgressCallback] = None,
     tracer_enabled: bool = False,

@@ -11,28 +11,27 @@ fast the host happened to execute them.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 from typing import Dict, Mapping
 
 from repro.cloud.billing import BillingReport
 from repro.core.runner import SimulationResult
 from repro.sim.stats import LatencySummary
 
+# The schema tag — a fingerprint of the result layout derived from the
+# dataclass fields, so stale store records register as cache misses
+# instead of deserialisation crashes — now lives with the store-record
+# schema it stamps (every warehouse backend shares it); re-exported here
+# because this module is where result-layout code has always found it.
+from repro.store.record import RESULT_SCHEMA_TAG
 
-def _schema_tag() -> str:
-    """A short fingerprint of the result layout, derived from the dataclass
-    fields themselves: any change to ``SimulationResult`` (or its nested
-    latency/billing summaries) yields a new tag automatically, so stale
-    store records register as cache misses instead of crashing
-    ``result_from_dict`` — no manual version bump to forget."""
-    names = []
-    for cls in (SimulationResult, LatencySummary, BillingReport):
-        names.append(cls.__name__)
-        names.extend(sorted(field.name for field in dataclasses.fields(cls)))
-    return hashlib.sha256("/".join(names).encode("utf-8")).hexdigest()[:12]
-
-
-RESULT_SCHEMA_TAG = _schema_tag()
+__all__ = [
+    "HOST_SPEED_FIELDS",
+    "RESULT_SCHEMA_TAG",
+    "SIMULATED_RESULT_FIELDS",
+    "result_from_dict",
+    "result_to_dict",
+    "simulated_fingerprint",
+]
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:

@@ -1,166 +1,16 @@
-"""Content-addressed result store (append-only JSONL).
+"""Compatibility shim — the result store grew into :mod:`repro.store`.
 
-Each record keys a simulation result by the SHA-256 digest of its resolved
-point spec (see :func:`repro.sweep.spec.point_digest`).  Re-running a sweep
-looks every point up before simulating, so completed points are never
-re-simulated and an interrupted sweep resumes where it stopped: records are
-appended and flushed one by one as points finish.
-
-The file format is one JSON object per line::
-
-    {"digest": "...", "sweep": "...", "labels": {...}, "result_schema": "...",
-     "point": {resolved spec...}, "result": {result dict...}}
-
-Records are durable once reported: every append is flushed *and* fsynced,
-so a point the runner has announced as persisted survives a host or
-container crash, not just a process exit.  Corrupt or truncated lines (a
-run killed mid-write) are skipped on load — wherever they sit in the file,
-valid records before and after a torn one still load — and a later append
-first repairs a torn tail with a newline so the new record never
-concatenates onto the debris.  The digest of a well-formed record is
-trusted — it was computed from the stored ``point`` payload by the writer
-and is re-derivable from it.
-Records whose ``result_schema`` tag does not match the current
-:data:`~repro.sweep.serialization.RESULT_SCHEMA_TAG` are ignored: the point
-digest only covers the *input* spec, so a result-layout change must turn
-old records into cache misses (and a re-simulation), not deserialisation
-crashes.
+``ResultStore`` was one append-only JSONL file; it is now
+:class:`repro.store.jsonl.JsonlBackend`, one of three backends behind the
+:class:`repro.store.backend.ResultBackend` protocol (JSONL, indexed
+sqlite, sharded directories with deterministic merge).  Existing imports
+and existing store files keep working unchanged: the class re-exported
+here *is* the JSONL backend, and the file format is byte-for-byte the one
+this module always wrote.  New code should import from :mod:`repro.store`
+and may accept any backend (or a store URL via
+:func:`repro.store.open_store`).
 """
 
-from __future__ import annotations
+from repro.store.jsonl import JsonlBackend as ResultStore
 
-import json
-import logging
-import os
-from typing import Dict, Iterator, Mapping, Optional
-
-from repro.sweep.serialization import RESULT_SCHEMA_TAG
-
-logger = logging.getLogger("repro.sweep.store")
-
-
-class ResultStore:
-    """Digest-keyed persistent result cache backed by one JSONL file."""
-
-    def __init__(self, path: str) -> None:
-        self._path = path
-        self._records: Dict[str, dict] = {}
-        self._load()
-
-    @property
-    def path(self) -> str:
-        return self._path
-
-    def _load(self) -> None:
-        if not os.path.exists(self._path):
-            return
-        with open(self._path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn write from an interrupted run: skipping it is the
-                    # documented recovery path, but never a silent one — a
-                    # store that loses lines for any *other* reason must be
-                    # diagnosable from the logs.
-                    logger.warning(
-                        "%s:%d: skipping corrupt/torn record", self._path, lineno
-                    )
-                    continue
-                digest = record.get("digest")
-                if (
-                    isinstance(digest, str)
-                    and "result" in record
-                    and record.get("result_schema") == RESULT_SCHEMA_TAG
-                ):
-                    self._records[digest] = record
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __contains__(self, digest: str) -> bool:
-        return digest in self._records
-
-    def digests(self) -> Iterator[str]:
-        return iter(self._records)
-
-    def get(self, digest: str) -> Optional[dict]:
-        """The stored record for ``digest``, or None if never simulated."""
-        return self._records.get(digest)
-
-    def _tail_is_torn(self) -> bool:
-        """Whether the file ends in a partial line (crash mid-append).
-
-        Appending straight after a torn tail would concatenate the new
-        record onto the debris, turning one lost line into two.
-        """
-        try:
-            with open(self._path, "rb") as handle:
-                handle.seek(-1, os.SEEK_END)
-                return handle.read(1) != b"\n"
-        except (OSError, ValueError):  # missing or empty file
-            return False
-
-    def put(
-        self,
-        digest: str,
-        resolved_point: Mapping[str, object],
-        result: Mapping[str, object],
-        sweep_name: str = "",
-        timing: Optional[Mapping[str, float]] = None,
-        retries: int = 0,
-    ) -> dict:
-        """Record one finished point: append, flush, and fsync.
-
-        The fsync is what makes "persisted" mean persisted: without it a
-        host or container crash could lose points the runner already
-        reported as cached for the next run.  ``timing`` (optional) records
-        the host-side setup/simulate/collect split of the run that produced
-        the result, so per-point overhead — and what warm worker pools
-        amortise away — stays measurable from the store alone.  ``retries``
-        (recorded only when nonzero) counts worker deaths the point survived
-        before producing this result.
-        """
-        record = {
-            "digest": digest,
-            "sweep": sweep_name,
-            "labels": resolved_point.get("labels", {}),
-            "result_schema": RESULT_SCHEMA_TAG,
-            "point": dict(resolved_point),
-            "result": dict(result),
-        }
-        if timing is not None:
-            record["timing"] = dict(timing)
-        if retries:
-            record["retries"] = int(retries)
-        obs = result.get("obs")
-        if isinstance(obs, Mapping):
-            # Traced run: attach a compact per-point observability summary so
-            # phase means and drop counts are greppable from the store alone
-            # (the full payload stays inside ``result["obs"]``).
-            trace = obs.get("trace", {})
-            record["obs_summary"] = {
-                "spans": len(obs.get("spans", ())),
-                "spans_dropped": obs.get("spans_dropped", 0),
-                "trace_events": len(trace.get("events", ())),
-                "trace_dropped": trace.get("dropped", 0),
-                "phase_mean_seconds": {
-                    name: summary.get("mean")
-                    for name, summary in obs.get("phases", {}).items()
-                },
-            }
-        directory = os.path.dirname(self._path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        repair_tail = self._tail_is_torn()
-        with open(self._path, "a", encoding="utf-8") as handle:
-            if repair_tail:
-                handle.write("\n")
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._records[digest] = record
-        return record
+__all__ = ["ResultStore"]

@@ -298,6 +298,17 @@ def test_dig002_declarations_match_runtime():
     assert result_fields == declared
     assert not set(SIMULATED_RESULT_FIELDS) & set(HOST_SPEED_FIELDS)
 
+    from repro.store.record import (
+        ADDRESSED_RECORD_FIELDS,
+        HOST_SIDE_RECORD_FIELDS,
+        StoreRecord,
+    )
+
+    record_fields = {f.name for f in dataclasses.fields(StoreRecord)}
+    declared = set(ADDRESSED_RECORD_FIELDS) | set(HOST_SIDE_RECORD_FIELDS)
+    assert record_fields == declared
+    assert not set(ADDRESSED_RECORD_FIELDS) & set(HOST_SIDE_RECORD_FIELDS)
+
 
 def test_dig002_requires_whole_tree_context(tmp_path):
     """A RunSpec parsed without its declarations is an explicit finding,

@@ -255,12 +255,12 @@ def test_store_put_fsyncs_every_append(tmp_path, monkeypatch):
     crash, so every append must reach the disk before ``put`` returns."""
     import os as os_module
 
-    import repro.sweep.store as store_module
+    import repro.store.jsonl as jsonl_module
 
     synced = []
     real_fsync = os_module.fsync
     monkeypatch.setattr(
-        store_module.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        jsonl_module.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
     )
     store = ResultStore(str(tmp_path / "fsync.jsonl"))
     sweep = _tiny_sweep("fsync")
