@@ -1,0 +1,29 @@
+/* Minimal SHA-256 (FIPS 180-4) for the compiled kernel fast path.
+ *
+ * The extension hashes canonical payloads without round-tripping through
+ * hashlib objects; `tests/test_kernel.py` pins this implementation
+ * bit-identical to hashlib.sha256 across empty/boundary/multi-block and
+ * randomised inputs.  Portable C99, no endianness assumptions.
+ */
+#ifndef REPRO_CKERNEL_SHA256_H
+#define REPRO_CKERNEL_SHA256_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+typedef struct {
+    uint32_t state[8];
+    uint64_t total_len;   /* bytes processed so far */
+    uint8_t buffer[64];
+    size_t buffer_len;
+} repro_sha256_ctx;
+
+void repro_sha256_init(repro_sha256_ctx *ctx);
+void repro_sha256_update(repro_sha256_ctx *ctx, const uint8_t *data, size_t len);
+void repro_sha256_final(repro_sha256_ctx *ctx, uint8_t digest[32]);
+
+/* One-shot helper: hex-encode the digest of `data` into `hex` (64 chars +
+ * NUL), lowercase — the same text hashlib's hexdigest() returns. */
+void repro_sha256_hex(const uint8_t *data, size_t len, char hex[65]);
+
+#endif /* REPRO_CKERNEL_SHA256_H */

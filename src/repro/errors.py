@@ -37,3 +37,10 @@ class CloudError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured or used incorrectly."""
+
+
+class KernelUnavailableError(ReproError):
+    """``REPRO_KERNEL=c`` was requested but the compiled kernel cannot be
+    used (extension not built, import failure, or build-tag mismatch).
+    Only the *explicit* request raises; the default ``auto`` mode falls
+    back to pure Python with a one-time warning instead."""

@@ -100,3 +100,4 @@ from repro.lint.rules import digest as _digest  # noqa: E402,F401
 from repro.lint.rules import obs as _obs  # noqa: E402,F401
 from repro.lint.rules import mutation as _mutation  # noqa: E402,F401
 from repro.lint.rules import excepts as _excepts  # noqa: E402,F401
+from repro.lint.rules import kernel as _kernel  # noqa: E402,F401

@@ -1,0 +1,97 @@
+"""KER006 — direct ``repro._ckernel`` import outside the kernel chooser.
+
+Why this rule exists: the compiled kernel's entire safety story — automatic
+pure-Python fallback, the ``REPRO_KERNEL`` override, the ``BUILD_TAG``
+staleness gate, and the one-time fallback warning — lives in
+:mod:`repro.kernel`, which decides the variant exactly once at import.  A
+call-site that imports ``repro._ckernel._impl`` directly bypasses all of
+it: it crashes on checkouts that never built the extension, happily loads a
+stale ``.so`` whose calling convention no longer matches (the chooser's
+build-tag check never runs), and ignores ``REPRO_KERNEL=py`` — so the
+"pure Python is authoritative" A/B discipline in ``tests/test_kernel.py``
+silently stops covering that site.  Every consumer must route through the
+chooser's accessors (``kernel.c_execute_batch()`` etc.), which return
+``None`` on the pure-Python path.
+
+Flags any import of ``repro._ckernel`` or its submodules — ``import x``,
+``from x import y``, ``from repro import _ckernel``, and dynamic constant
+imports (``importlib.import_module("repro._ckernel._impl")``,
+``__import__(...)``) — in every file except ``repro/kernel.py`` and the
+``repro/_ckernel`` package itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator
+
+from repro.lint.rules import FileRule, RawFinding, register
+
+_PACKAGE = "repro._ckernel"
+
+def _names_package(module: str) -> bool:
+    return module == _PACKAGE or module.startswith(_PACKAGE + ".")
+
+
+def _is_allowed(path: str) -> bool:
+    """The chooser itself and anything inside the extension package."""
+    normalized = os.path.normpath(path)
+    if normalized.endswith(os.path.join("repro", "kernel.py")):
+        return True
+    return os.path.join("repro", "_ckernel") + os.sep in normalized
+
+
+@register
+class CKernelImportRule(FileRule):
+    __doc__ = __doc__
+
+    code = "KER006"
+    summary = "direct repro._ckernel import outside the repro.kernel chooser"
+
+    def check(self, path: str, tree: ast.AST, source: str) -> Iterator[RawFinding]:
+        if _is_allowed(path):
+            return iter(())
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _names_package(alias.name):
+                        findings.append(self._finding(node, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if _names_package(module):
+                    findings.append(self._finding(node, module))
+                elif module == "repro" and any(
+                    alias.name == "_ckernel" for alias in node.names
+                ):
+                    findings.append(self._finding(node, _PACKAGE))
+            elif isinstance(node, ast.Call):
+                target = self._dynamic_import_target(node)
+                if target is not None and _names_package(target):
+                    findings.append(self._finding(node, target))
+        return iter(findings)
+
+    @staticmethod
+    def _dynamic_import_target(call: ast.Call) -> "str | None":
+        """The module name of an ``import_module``/``__import__`` call with a
+        constant first argument, else ``None``."""
+        func = call.func
+        is_dynamic_import = (
+            isinstance(func, ast.Name) and func.id == "__import__"
+        ) or (isinstance(func, ast.Attribute) and func.attr == "import_module")
+        if not is_dynamic_import or not call.args:
+            return None
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+        return None
+
+    def _finding(self, node: ast.AST, module: str) -> RawFinding:
+        return RawFinding(
+            node.lineno,
+            node.col_offset,
+            f"direct import of `{module}` — route through `repro.kernel` "
+            "(the chooser owns fallback, REPRO_KERNEL, and the build-tag "
+            "gate; see its accessors like `kernel.c_execute_batch()`)",
+        )

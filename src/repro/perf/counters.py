@@ -42,6 +42,14 @@ class PerfCounters:
     #: VERIFY-message signature checks answered from the per-instance memo
     #: (duplicate deliveries and verify-flooding re-sends).
     verify_signature_cache_hits: int = 0
+    #: Batches executed by the compiled kernel (``repro._ckernel``) rather
+    #: than the pure-Python ``execute_batch`` loop.
+    ckernel_batches_executed: int = 0
+    #: Transactions assembled by the compiled kernel's YCSB generator.
+    ckernel_txns_generated: int = 0
+    #: Digests computed by the compiled kernel's SHA-256 (subset of
+    #: ``digests_computed`` — which variant served the computation).
+    ckernel_digests: int = 0
 
     def reset(self) -> None:
         """Zero every counter (e.g. between benchmark iterations)."""

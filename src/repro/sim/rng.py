@@ -42,6 +42,10 @@ class DeterministicRNG:
         self.randint = self._random.randint  # type: ignore[method-assign]
         self.random = self._random.random  # type: ignore[method-assign]
         self.uniform = self._random.uniform  # type: ignore[method-assign]
+        # The raw bit source, exposed for the compiled kernel's rejection
+        # sampler: repro._ckernel draws through this exact bound method so
+        # C-generated draw sequences stay bit-identical to bounded_int_fn's.
+        self.getrandbits: Callable[[int], int] = self._random.getrandbits
 
     @property
     def seed(self) -> int:

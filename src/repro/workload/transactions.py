@@ -15,6 +15,7 @@ from collections import namedtuple
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+from repro import kernel
 from repro.perf import PERF
 
 
@@ -113,13 +114,9 @@ class Transaction:
         try:
             return self._canonical
         except AttributeError:
-            ops = ";".join(
-                [
-                    f"{'W' if is_write else 'R'}:{key}:{value or ''}"
-                    for key, is_write, value in self.operations
-                ]
-            )
-            cached = f"txn:{self.txn_id}:{self.client_id}:{ops}:{self.execution_seconds}"
+            # Construction is delegated to the active kernel variant (bound
+            # at module bottom); both build the identical string.
+            cached = _transaction_canonical(self)
             object.__setattr__(self, "_canonical", cached)
             return cached
 
@@ -250,9 +247,10 @@ class TransactionBatch:
     def canonical(self) -> str:
         cached = self.__dict__.get("_canonical")
         if cached is None:
-            cached = f"batch:{self.batch_id}:" + "|".join(
-                [txn.canonical() for txn in self.transactions]
-            )
+            # Delegated to the active kernel variant (bound at module
+            # bottom); both build the identical string, and the compiled
+            # path reads/seeds the per-transaction canonical memos directly.
+            cached = _batch_canonical(self)
             object.__setattr__(self, "_canonical", cached)
         return cached
 
@@ -362,7 +360,20 @@ def execute_batch(
     honest executors that observed the same storage state produce identical
     :class:`ExecutionResult` objects (and byzantine executors that fabricate
     results will not match them).
+
+    Dispatches to the active kernel variant (see :mod:`repro.kernel`); the
+    compiled and pure-Python implementations are bit-identical, gated by
+    ``tests/test_kernel.py``.
     """
+    return _execute_batch_impl(batch, read_values, read_versions)
+
+
+def _execute_batch_py(
+    batch: TransactionBatch,
+    read_values: Mapping[str, str],
+    read_versions: Mapping[str, int],
+) -> ExecutionResult:
+    """The authoritative pure-Python batch execution loop."""
     PERF.batch_executions += 1
     # Digest chunks are accumulated as *strings* and encoded in one pass at
     # the end: UTF-8 encoding distributes over concatenation, so the hashed
@@ -404,6 +415,62 @@ def execute_batch(
         result_digest=hashlib.sha256("".join(chunks).encode("utf-8")).hexdigest(),
         txn_results=tuple(txn_results),
     )
+
+
+def _execute_batch_c(
+    batch: TransactionBatch,
+    read_values: Mapping[str, str],
+    read_versions: Mapping[str, int],
+) -> ExecutionResult:
+    """Compiled batch execution (bit-identical to :func:`_execute_batch_py`).
+
+    The C loop operates on plain dicts; exotic mappings (none on the hot
+    path today) take the authoritative Python loop instead.
+    """
+    if type(read_values) is not dict or type(read_versions) is not dict:
+        return _execute_batch_py(batch, read_values, read_versions)
+    PERF.batch_executions += 1
+    PERF.ckernel_batches_executed += 1
+    digest, txn_results = _c_execute_batch(
+        batch.batch_id, batch.transactions, read_values, read_versions
+    )
+    return ExecutionResult(
+        batch_id=batch.batch_id,
+        result_digest=digest,
+        txn_results=txn_results,
+    )
+
+
+def _transaction_canonical_py(txn: Transaction) -> str:
+    """Uncached canonical-string construction (the memo lives in
+    :meth:`Transaction.canonical`)."""
+    ops = ";".join(
+        [
+            f"{'W' if is_write else 'R'}:{key}:{value or ''}"
+            for key, is_write, value in txn.operations
+        ]
+    )
+    return f"txn:{txn.txn_id}:{txn.client_id}:{ops}:{txn.execution_seconds}"
+
+
+def _batch_canonical_py(batch: "TransactionBatch") -> str:
+    """Uncached batch canonical construction (the memo lives in
+    :meth:`TransactionBatch.canonical`)."""
+    return f"batch:{batch.batch_id}:" + "|".join(
+        [txn.canonical() for txn in batch.transactions]
+    )
+
+
+# --------------------------------------------------------------------------
+# Kernel wiring: register this module's types with the chooser and bind the
+# hot-floor implementations once, at import (repro.kernel decided the
+# variant when *it* was imported).  KER006 keeps all of this routed through
+# repro.kernel — nothing here touches repro._ckernel directly.
+kernel.configure_types(Operation, Transaction, TransactionResult)
+_c_execute_batch = kernel.c_execute_batch()
+_execute_batch_impl = _execute_batch_py if _c_execute_batch is None else _execute_batch_c
+_transaction_canonical = kernel.c_transaction_canonical() or _transaction_canonical_py
+_batch_canonical = kernel.c_batch_canonical() or _batch_canonical_py
 
 
 def merge_batches(batches: Iterable[TransactionBatch], batch_id: str) -> TransactionBatch:

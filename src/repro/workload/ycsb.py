@@ -21,7 +21,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
+from repro import kernel
 from repro.errors import WorkloadError
+from repro.perf import PERF
 from repro.sim.rng import DeterministicRNG
 from repro.workload.transactions import Operation, Transaction, TransactionBatch
 
@@ -75,10 +77,15 @@ class YCSBWorkload:
         # Pre-built samplers for the constant bounds of this workload: each is
         # draw-for-draw identical to randint (see DeterministicRNG), minus the
         # stdlib wrapper frames — next_transaction draws ~6 of these per call.
-        self._draw_client = self._rng.bounded_int_fn(config.clients)
+        # The bounds are recorded alongside the samplers: the compiled kernel
+        # re-derives the same rejection loops from them (drawing through the
+        # same ``getrandbits``), so C and Python draws stay sequence-identical.
+        self._client_bound = config.clients
+        self._value_bound = 10**9 + 1
+        self._draw_client = self._rng.bounded_int_fn(self._client_bound)
         self._draw_hot = self._rng.bounded_int_fn(config.hot_keys)
         self._draw_offset = self._rng.bounded_int_fn(self._partition_size)
-        self._draw_value = self._rng.bounded_int_fn(10**9 + 1)
+        self._draw_value = self._rng.bounded_int_fn(self._value_bound)
         # Per-transaction constants, hoisted out of the generation loop.
         self._writes_target = round(
             config.operations_per_transaction * config.write_fraction
@@ -111,6 +118,11 @@ class YCSBWorkload:
         self._next_batch_index = self._batch_counter.__next__
         self._hot_count = config.hot_keys
         self._num_records = config.num_records
+        # Compiled generation fast path, bound per instance so tests can
+        # force the pure-Python loop (``workload._c_generate = None``) for
+        # in-process A/B comparisons.  ``None`` whenever the chooser picked
+        # the pure-Python kernel.
+        self._c_generate = kernel.c_generate_transactions()
 
     @property
     def config(self) -> YCSBConfig:
@@ -177,6 +189,11 @@ class YCSBWorkload:
         per-transaction attribute reads of the single-transaction entry
         point are measurable.
         """
+        c_generate = self._c_generate
+        if c_generate is not None:
+            txns = c_generate(self, count, client_index_offset, origin, request_id, False)
+            PERF.ckernel_txns_generated += count
+            return txns
         uniform_only = self._uniform_only
         build_general = self._build_operations
         has_conflicts = self._has_conflicts
@@ -262,6 +279,13 @@ class YCSBWorkload:
         if batch_size <= 0:
             raise WorkloadError("batch_size must be positive")
         batch_id = f"batch-{self._next_batch_index()}"
+        c_generate = self._c_generate
+        if c_generate is not None:
+            # draw_client=True: the C loop draws the client per transaction,
+            # exactly as next_transaction() does below.
+            transactions = c_generate(self, batch_size, 0, "", "", True)
+            PERF.ckernel_txns_generated += batch_size
+            return TransactionBatch(batch_id=batch_id, transactions=transactions)
         next_transaction = self.next_transaction
         return TransactionBatch(
             batch_id=batch_id,

@@ -1,0 +1,16 @@
+"""KER006 bad fixture: every way of reaching the extension behind the
+chooser's back — static imports, a `from repro import _ckernel`, and
+constant-string dynamic imports."""
+
+import importlib
+
+import repro._ckernel._impl  # noqa: F401  (KER006: bypasses the chooser)
+from repro import _ckernel  # noqa: F401
+from repro._ckernel import _impl  # noqa: F401
+from repro._ckernel._impl import execute_batch  # noqa: F401
+
+
+def sneaky():
+    compiled = importlib.import_module("repro._ckernel._impl")
+    also_compiled = __import__("repro._ckernel._impl")
+    return compiled, also_compiled

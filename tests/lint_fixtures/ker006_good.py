@@ -1,0 +1,18 @@
+"""KER006 good fixture: consumers reach the compiled kernel only through
+the chooser's accessors, which return None on the pure-Python path."""
+
+import importlib
+
+from repro import kernel
+
+
+def execute(batch, read_values, read_versions, py_impl):
+    compiled = kernel.c_execute_batch()
+    if compiled is None:
+        return py_impl(batch, read_values, read_versions)
+    return compiled(batch.batch_id, batch.transactions, read_values, read_versions)
+
+
+def unrelated_dynamic_import():
+    # Dynamic imports of *other* modules stay allowed.
+    return importlib.import_module("repro.crypto.hashing")
